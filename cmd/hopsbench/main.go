@@ -1,0 +1,85 @@
+// Command hopsbench regenerates the tables and figures of "Distributed
+// Hierarchical File Systems strike back in the Cloud" (ICDCS 2020) against
+// this repository's HopsFS-CL reproduction.
+//
+// Usage:
+//
+//	hopsbench [flags] <experiment>...
+//	hopsbench list
+//	hopsbench all
+//
+// Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+// fig13 fig14 failures.
+//
+// Flags:
+//
+//	-full     run the paper's complete server-count grid (slower)
+//	-seed N   simulation seed (default 1)
+//	-clients N  closed-loop clients per metadata server (default 64)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hopsfscl/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hopsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hopsbench", flag.ContinueOnError)
+	full := fs.Bool("full", false, "run the paper's complete server-count grid")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	clients := fs.Int("clients", 0, "closed-loop clients per metadata server (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		usage()
+		return fmt.Errorf("no experiment given")
+	}
+	if len(ids) == 1 && ids[0] == "list" {
+		usage()
+		return nil
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range bench.Experiments {
+			ids = append(ids, e.ID)
+		}
+	}
+	opts := bench.ExpOptions{Full: *full, Seed: *seed, ClientsPerServer: *clients}
+	for _, id := range ids {
+		exp, ok := bench.ExperimentByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try: hopsbench list)", id)
+		}
+		fmt.Printf("=== %s — %s ===\n", exp.ID, exp.Title)
+		t0 := time.Now()
+		out, err := exp.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s completed in %s)\n\n", exp.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Println("hopsbench — regenerate the paper's tables and figures")
+	fmt.Println("\nexperiments:")
+	for _, e := range bench.Experiments {
+		fmt.Printf("  %-9s %s\n", e.ID, e.Title)
+	}
+	fmt.Println("\nusage: hopsbench [-full] [-seed N] [-clients N] <experiment>... | all | list")
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no arguments accepted")
+	}
+	if err := run([]string{"fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-bogus", "fig5"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunListAndQuickExperiment(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+	// table1/table2 are cheap end-to-end smoke tests of the CLI path.
+	if err := run([]string{"table1", "table2"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Command hopstrace records and replays metadata operation traces — the
+// methodology behind the paper's use of Spotify's operational trace.
+//
+// Usage:
+//
+//	hopstrace gen [-ops N] [-seed S] [-out file]
+//	    Generate a Spotify-mix trace over the evaluation namespace and
+//	    write it (one operation per line) to the file or stdout.
+//
+//	hopstrace replay [-setup name] [-seed S] [-in file]
+//	    Replay a trace file against a deployment and report virtual
+//	    throughput, latency, and cross-AZ traffic.
+//
+// The trace format is plain text: "<op> <path> [<dst>]", e.g.
+//
+//	mkdir /proj001/dsNew
+//	createFile /proj001/ds00/part-00042
+//	rename /a/b /c/d
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hopsfscl/internal/core"
+	"hopsfscl/internal/metrics"
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hopstrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: hopstrace gen|replay [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:], stdout)
+	case "replay":
+		return runReplay(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen or replay)", args[0])
+	}
+}
+
+func runGen(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	ops := fs.Int("ops", 10000, "operations to generate")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Drive the Spotify-mix generator against a recorder over a no-op FS:
+	// the recorder captures exactly the operations a benchmark run issues.
+	// Match the namespace a deployment built with the same seed will be
+	// seeded with, so generated paths resolve on replay.
+	ns := workload.BuildNamespace(workload.DefaultNamespace(), core.NamespaceSeed(*seed))
+	rec := workload.NewRecorder(nopFS{})
+	gen := workload.NewGenerator(ns, workload.SpotifyMix, *seed)
+	env := sim.New(*seed)
+	defer env.Close()
+	env.Spawn("gen", func(p *sim.Proc) {
+		for i := 0; i < *ops; i++ {
+			_, _ = gen.Step(p, rec)
+		}
+	})
+	env.Run()
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.WriteTrace(w, rec.Trace()); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(stdout, "wrote %d operations to %s\n", len(rec.Trace()), *out)
+	}
+	return nil
+}
+
+func runReplay(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	setupName := fs.String("setup", "HopsFS-CL (3,3)", "deployment setup")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	in := fs.String("in", "", "trace file (default stdin)")
+	servers := fs.Int("servers", 6, "metadata servers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	trace, err := workload.ReadTrace(r)
+	if err != nil {
+		return err
+	}
+	setup, ok := core.SetupByName(*setupName)
+	if !ok {
+		return fmt.Errorf("unknown setup %q", *setupName)
+	}
+	opts := core.DefaultOptions(setup)
+	opts.MetadataServers = *servers
+	opts.ClientsPerServer = 1 // replay is sequential per client below
+	opts.Seed = *seed
+	d, err := core.Build(opts)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	var (
+		errs    int
+		elapsed time.Duration
+	)
+	done := false
+	d.Env.Spawn("replay", func(p *sim.Proc) {
+		t0 := p.Now()
+		errs = workload.Replay(p, d.Clients[0], trace)
+		p.Flush()
+		elapsed = p.Now() - t0
+		done = true
+	})
+	for i := 0; !done && i < 10000; i++ {
+		d.Env.RunFor(100 * time.Millisecond)
+	}
+	if !done {
+		return fmt.Errorf("replay did not complete")
+	}
+	rate := float64(len(trace)) / elapsed.Seconds()
+	fmt.Fprintf(stdout, "replayed %d operations on %s in %v (virtual)\n", len(trace), setup.Name, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "sequential throughput: %s ops/s   errors: %d\n", metrics.FormatOps(rate), errs)
+	fmt.Fprintf(stdout, "cross-AZ traffic: %.2f MB\n", float64(d.Net.CrossZoneBytes())/1e6)
+	// Mirror hopsbench: note the bench package is the place for load tests.
+	fmt.Fprintln(stdout, "(replay is sequential; use hopsbench for closed-loop load)")
+	return nil
+}
+
+// nopFS satisfies workload.FS with no-ops so a trace can be generated
+// without a live cluster.
+type nopFS struct{}
+
+var _ workload.FS = nopFS{}
+
+func (nopFS) Mkdir(*sim.Proc, string) error          { return nil }
+func (nopFS) Create(*sim.Proc, string) error         { return nil }
+func (nopFS) Stat(*sim.Proc, string) error           { return nil }
+func (nopFS) Read(*sim.Proc, string) error           { return nil }
+func (nopFS) List(*sim.Proc, string) error           { return nil }
+func (nopFS) Delete(*sim.Proc, string) error         { return nil }
+func (nopFS) Rename(*sim.Proc, string, string) error { return nil }
+func (nopFS) SetPermission(*sim.Proc, string) error  { return nil }

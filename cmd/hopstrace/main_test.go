@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.txt")
+	var out strings.Builder
+	if err := run([]string{"gen", "-ops", "500", "-out", trace}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines < 400 {
+		t.Fatalf("trace has %d lines, want ~500", lines)
+	}
+	out.Reset()
+	if err := run([]string{"replay", "-in", trace, "-servers", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "errors: 0") {
+		t.Fatalf("replay errored:\n%s", report)
+	}
+	if !strings.Contains(report, "HopsFS-CL (3,3)") {
+		t.Fatalf("unexpected report:\n%s", report)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"frob"}, &out); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"replay", "-setup", "nope", "-in", "/dev/null"}, &out); err == nil {
+		t.Fatal("unknown setup accepted")
+	}
+	if err := run([]string{"replay", "-in", "/nonexistent-file"}, &out); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}

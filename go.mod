@@ -1,0 +1,3 @@
+module hopsfscl
+
+go 1.24

@@ -1,0 +1,436 @@
+// Package blocks implements the HopsFS-CL block storage layer (paper
+// §II-A3 and §IV-C): datanodes storing 128 MB blocks of large files,
+// replicated over a pipeline, with an AZ-aware placement policy (the
+// rack-aware policy with AZs as racks) that guarantees at least one replica
+// in every availability zone, and re-replication driven by the leader
+// metadata server when datanodes fail.
+//
+// Small files (< 128 KB) never reach this layer: they are stored inline
+// with their metadata in NDB (§II-A3, [29]); see the namenode package.
+package blocks
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hopsfscl/internal/objstore"
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/simnet"
+)
+
+// Errors reported by the block layer.
+var (
+	// ErrNoDatanodes means placement could not find enough live targets.
+	ErrNoDatanodes = errors.New("blocks: not enough live datanodes")
+	// ErrNoReplica means a read found no live replica of a block.
+	ErrNoReplica = errors.New("blocks: no live replica")
+	// ErrUnknownBlock means the block id is not registered.
+	ErrUnknownBlock = errors.New("blocks: unknown block")
+)
+
+// BlockID identifies a block.
+type BlockID int64
+
+// Config parameterizes the layer.
+type Config struct {
+	// BlockSize is the split size for large files (128 MB default).
+	BlockSize int64
+	// Replication is the target replica count (3 default).
+	Replication int
+	// AZAware enables the §IV-C placement policy (AZs as racks). When
+	// false, placement is uniform random over distinct datanodes.
+	AZAware bool
+	// MonitorInterval is the period of the leader's re-replication check.
+	MonitorInterval time.Duration
+	// RPCTimeout bounds pipeline hops.
+	RPCTimeout time.Duration
+}
+
+// DefaultConfig returns the paper's block layer defaults.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:       128 << 20,
+		Replication:     3,
+		AZAware:         true,
+		MonitorInterval: time.Second,
+		RPCTimeout:      30 * time.Second,
+	}
+}
+
+// DataNode is a block storage server.
+type DataNode struct {
+	Node *simnet.Node
+	ID   int
+
+	blocks map[BlockID]bool
+	used   int64
+}
+
+// Used returns bytes of block data held.
+func (dn *DataNode) Used() int64 { return dn.used }
+
+// HoldsBlock reports whether the datanode has a replica of b.
+func (dn *DataNode) HoldsBlock(b BlockID) bool { return dn.blocks[b] }
+
+// Block is the metadata of one block: its locations and size. In HopsFS
+// this state lives in NDB tables fed by datanode block reports; here the
+// manager holds the aggregated view directly (the experiments never
+// bottleneck on it, §V: "the block layer scales linearly").
+type Block struct {
+	ID    BlockID
+	Inode uint64
+	Size  int64
+	locs  []*DataNode
+
+	// objectKey is set when the block lives in a cloud object store
+	// instead of on datanodes (the paper's §VII future-work block layer).
+	objectKey string
+}
+
+// InObjectStore reports whether the block is object-store backed.
+func (b *Block) InObjectStore() bool { return b.objectKey != "" }
+
+// Locations returns the live replica holders.
+func (b *Block) Locations() []*DataNode {
+	var out []*DataNode
+	for _, dn := range b.locs {
+		if dn.Node.Alive() {
+			out = append(out, dn)
+		}
+	}
+	return out
+}
+
+// Manager owns the datanodes and the block registry, and runs the leader's
+// re-replication monitor.
+type Manager struct {
+	env *sim.Env
+	net *simnet.Network
+	cfg Config
+
+	dns      []*DataNode
+	registry map[BlockID]*Block
+	seq      BlockID
+
+	// store, when non-nil, replaces datanode replication with a cloud
+	// object store backend: blocks become objects, the provider handles
+	// durability, and no re-replication monitor is needed (§VII).
+	store *objstore.Store
+
+	// leaderAlive gates the re-replication monitor: in HopsFS the leader
+	// NN triggers re-replication; the namesystem wires its election here.
+	leaderAlive func() bool
+
+	stop bool
+
+	// ReReplications counts blocks copied by the monitor.
+	ReReplications int64
+}
+
+// Placement locates one block datanode.
+type Placement struct {
+	Zone simnet.ZoneID
+	Host simnet.HostID
+}
+
+// NewManager creates a block layer with one datanode per placement.
+func NewManager(env *sim.Env, net *simnet.Network, cfg Config, placements []Placement) *Manager {
+	m := &Manager{
+		env:         env,
+		net:         net,
+		cfg:         cfg,
+		registry:    make(map[BlockID]*Block),
+		leaderAlive: func() bool { return true },
+	}
+	for i, pl := range placements {
+		m.dns = append(m.dns, &DataNode{
+			Node:   net.NewNode(fmt.Sprintf("dn-%d", i+1), pl.Zone, pl.Host),
+			ID:     i,
+			blocks: make(map[BlockID]bool),
+		})
+	}
+	env.Spawn("block-monitor", func(p *sim.Proc) { m.monitor(p) })
+	return m
+}
+
+// SetLeaderCheck wires the metadata layer's leader election: the monitor
+// only acts while the check returns true.
+func (m *Manager) SetLeaderCheck(f func() bool) { m.leaderAlive = f }
+
+// UseObjectStore switches the manager to the cloud object store backend:
+// WriteBlock PUTs one object per block, ReadBlock GETs it from the
+// client's zone-local endpoint, and durability is the provider's problem.
+// Call before any block is written.
+func (m *Manager) UseObjectStore(s *objstore.Store) { m.store = s }
+
+// ObjectStore returns the configured backend (nil for DN replication).
+func (m *Manager) ObjectStore() *objstore.Store { return m.store }
+
+// Stop halts the background monitor at its next tick.
+func (m *Manager) Stop() { m.stop = true }
+
+// DataNodes returns the layer's datanodes.
+func (m *Manager) DataNodes() []*DataNode { return m.dns }
+
+// Block returns a registered block.
+func (m *Manager) Block(id BlockID) (*Block, bool) {
+	b, ok := m.registry[id]
+	return b, ok
+}
+
+// BlockSize returns the configured block split size.
+func (m *Manager) BlockSize() int64 { return m.cfg.BlockSize }
+
+// SplitSize returns the number of blocks a file of the given size needs.
+func (m *Manager) SplitSize(size int64) int {
+	if size <= 0 {
+		return 0
+	}
+	return int((size + m.cfg.BlockSize - 1) / m.cfg.BlockSize)
+}
+
+// Place chooses replication targets for a new block written by a client in
+// clientZone, per §IV-C: with AZ awareness the existing rack-aware policy
+// runs with AZs as racks — first replica in the writer's AZ, the rest
+// spread so that every AZ holds at least one replica. Without awareness,
+// targets are uniform random distinct datanodes.
+func (m *Manager) Place(clientZone simnet.ZoneID, n int) ([]*DataNode, error) {
+	live := m.liveNodes()
+	if len(live) < n {
+		return nil, ErrNoDatanodes
+	}
+	if !m.cfg.AZAware {
+		m.shuffle(live)
+		return live[:n], nil
+	}
+	byZone := make(map[simnet.ZoneID][]*DataNode)
+	var zones []simnet.ZoneID
+	for _, dn := range live {
+		z := dn.Node.Zone()
+		if len(byZone[z]) == 0 {
+			zones = append(zones, z)
+		}
+		byZone[z] = append(byZone[z], dn)
+	}
+	for _, zdns := range byZone {
+		m.shuffle(zdns)
+	}
+	// Zone order: the writer's zone first, then the others.
+	ordered := make([]simnet.ZoneID, 0, len(zones))
+	for _, z := range zones {
+		if z == clientZone {
+			ordered = append(ordered, z)
+		}
+	}
+	for _, z := range zones {
+		if z != clientZone {
+			ordered = append(ordered, z)
+		}
+	}
+	var out []*DataNode
+	for len(out) < n {
+		progress := false
+		for _, z := range ordered {
+			if len(out) == n {
+				break
+			}
+			if len(byZone[z]) > 0 {
+				out = append(out, byZone[z][0])
+				byZone[z] = byZone[z][1:]
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, ErrNoDatanodes
+		}
+	}
+	return out, nil
+}
+
+func (m *Manager) liveNodes() []*DataNode {
+	var out []*DataNode
+	for _, dn := range m.dns {
+		if dn.Node.Alive() {
+			out = append(out, dn)
+		}
+	}
+	return out
+}
+
+func (m *Manager) shuffle(s []*DataNode) {
+	m.env.Rand().Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}
+
+// WriteBlock allocates a block of the given size for the inode and stores
+// it: through the datanode replication pipeline (client -> dn1 -> dn2 ->
+// dn3, each writing to disk), or as one object PUT when the object-store
+// backend is configured. It returns the registered block.
+func (m *Manager) WriteBlock(p *sim.Proc, client *simnet.Node, inode uint64, size int64) (*Block, error) {
+	if m.store != nil {
+		m.seq++
+		b := &Block{ID: m.seq, Inode: inode, Size: size, objectKey: fmt.Sprintf("blocks/%016x", m.seq)}
+		if err := m.store.Put(p, client, b.objectKey, size); err != nil {
+			return nil, err
+		}
+		m.registry[b.ID] = b
+		return b, nil
+	}
+	targets, err := m.Place(client.Zone(), m.cfg.Replication)
+	if err != nil {
+		return nil, err
+	}
+	m.seq++
+	b := &Block{ID: m.seq, Inode: inode, Size: size, locs: targets}
+	prev := client
+	for _, dn := range targets {
+		if !m.net.Travel(p, prev, dn.Node, int(size), m.cfg.RPCTimeout) {
+			return nil, ErrNoDatanodes
+		}
+		dn.Node.DiskWrite(p, int(size))
+		prev = dn.Node
+	}
+	// Ack travels back up the pipeline to the client.
+	if !m.net.Travel(p, prev, client, 64, m.cfg.RPCTimeout) {
+		return nil, ErrNoDatanodes
+	}
+	for _, dn := range targets {
+		dn.blocks[b.ID] = true
+		dn.used += size
+	}
+	m.registry[b.ID] = b
+	return b, nil
+}
+
+// ReadBlock streams a block to the client from a replica, preferring an
+// AZ-local one when AZ awareness is on; with the object-store backend it
+// is one GET from the zone-local endpoint (and the returned datanode is
+// nil).
+func (m *Manager) ReadBlock(p *sim.Proc, client *simnet.Node, id BlockID) (*DataNode, error) {
+	b, ok := m.registry[id]
+	if !ok {
+		return nil, ErrUnknownBlock
+	}
+	if b.objectKey != "" {
+		if _, err := m.store.Get(p, client, b.objectKey); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	locs := b.Locations()
+	if len(locs) == 0 {
+		return nil, ErrNoReplica
+	}
+	src := locs[0]
+	if m.cfg.AZAware {
+		for _, dn := range locs {
+			if dn.Node.Zone() == client.Zone() {
+				src = dn
+				break
+			}
+		}
+	} else {
+		src = locs[m.env.Rand().Intn(len(locs))]
+	}
+	if !m.net.Travel(p, client, src.Node, 128, m.cfg.RPCTimeout) {
+		return nil, ErrNoReplica
+	}
+	src.Node.DiskRead(p, int(b.Size))
+	if !m.net.Travel(p, src.Node, client, int(b.Size), m.cfg.RPCTimeout) {
+		return nil, ErrNoReplica
+	}
+	return src, nil
+}
+
+// DeleteBlock drops a block's replicas (or object) and registry entry.
+func (m *Manager) DeleteBlock(id BlockID) {
+	b, ok := m.registry[id]
+	if !ok {
+		return
+	}
+	if b.objectKey != "" {
+		m.store.Delete(b.objectKey)
+		delete(m.registry, id)
+		return
+	}
+	for _, dn := range b.locs {
+		if dn.blocks[id] {
+			delete(dn.blocks, id)
+			dn.used -= b.Size
+		}
+	}
+	delete(m.registry, id)
+}
+
+// UnderReplicated returns blocks with fewer live replicas than the target.
+// Object-store blocks are never under-replicated (provider durability).
+func (m *Manager) UnderReplicated() []*Block {
+	var out []*Block
+	for _, b := range m.registry {
+		if b.objectKey == "" && len(b.Locations()) < m.cfg.Replication {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// monitor is the leader-driven re-replication loop (§IV-C2): when a
+// datanode failure leaves blocks under-replicated, a surviving replica is
+// copied to a fresh target chosen by the placement policy.
+func (m *Manager) monitor(p *sim.Proc) {
+	for !m.stop {
+		p.Sleep(m.cfg.MonitorInterval)
+		if m.stop || !m.leaderAlive() {
+			continue
+		}
+		for _, b := range m.UnderReplicated() {
+			m.reReplicate(p, b)
+		}
+	}
+}
+
+func (m *Manager) reReplicate(p *sim.Proc, b *Block) {
+	locs := b.Locations()
+	if len(locs) == 0 {
+		return // all replicas lost; nothing to copy from
+	}
+	src := locs[0]
+	have := make(map[int]bool, len(locs))
+	haveZones := make(map[simnet.ZoneID]bool, len(locs))
+	for _, dn := range locs {
+		have[dn.ID] = true
+		haveZones[dn.Node.Zone()] = true
+	}
+	// Prefer a zone that lost its replica, honoring the placement policy's
+	// one-replica-per-AZ guarantee.
+	var target *DataNode
+	for _, dn := range m.liveNodes() {
+		if have[dn.ID] {
+			continue
+		}
+		if m.cfg.AZAware && haveZones[dn.Node.Zone()] {
+			continue
+		}
+		target = dn
+		break
+	}
+	if target == nil {
+		for _, dn := range m.liveNodes() {
+			if !have[dn.ID] {
+				target = dn
+				break
+			}
+		}
+	}
+	if target == nil {
+		return
+	}
+	if !m.net.Travel(p, src.Node, target.Node, int(b.Size), m.cfg.RPCTimeout) {
+		return
+	}
+	target.Node.DiskWrite(p, int(b.Size))
+	target.blocks[b.ID] = true
+	target.used += b.Size
+	b.locs = append(b.Locations(), target)
+	m.ReReplications++
+}

@@ -1,0 +1,458 @@
+// Package core assembles the paper's systems into runnable deployments: it
+// is HopsFS-CL put together — the AZ-aware metadata storage (ndb), metadata
+// serving (namenode), and block storage (blocks) layers wired across one or
+// three availability zones — plus the baselines, exactly as §V-A deploys
+// them. The nine evaluation setups of Figure 5 are predefined.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hopsfscl/internal/blocks"
+	"hopsfscl/internal/cephfs"
+	"hopsfscl/internal/namenode"
+	"hopsfscl/internal/ndb"
+	"hopsfscl/internal/objstore"
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/simnet"
+	"hopsfscl/internal/workload"
+)
+
+// System identifies the file system under test.
+type System int
+
+// Systems.
+const (
+	// HopsFS is vanilla HopsFS: no AZ awareness anywhere in the stack.
+	HopsFS System = iota + 1
+	// HopsFSCL is the paper's contribution: AZ awareness at the metadata
+	// storage, metadata serving, and block storage layers.
+	HopsFSCL
+	// Ceph is the default CephFS setup (dynamic subtree balancing).
+	Ceph
+	// CephDirPinned manually pins subtrees to MDSs.
+	CephDirPinned
+	// CephSkipKCache disables the client kernel cache.
+	CephSkipKCache
+)
+
+// Setup is one evaluated deployment configuration.
+type Setup struct {
+	// Name matches the paper's figure legends, e.g. "HopsFS-CL (3,3)".
+	Name string
+	// System selects the stack.
+	System System
+	// MetaReplication is the metadata replication factor (first tuple
+	// element in the paper's naming).
+	MetaReplication int
+	// Zones is the number of AZs used (second tuple element).
+	Zones int
+}
+
+// PaperSetups are the nine deployments of Figure 5, in legend order.
+var PaperSetups = []Setup{
+	{Name: "HopsFS (2,1)", System: HopsFS, MetaReplication: 2, Zones: 1},
+	{Name: "HopsFS (3,1)", System: HopsFS, MetaReplication: 3, Zones: 1},
+	{Name: "HopsFS (2,3)", System: HopsFS, MetaReplication: 2, Zones: 3},
+	{Name: "HopsFS (3,3)", System: HopsFS, MetaReplication: 3, Zones: 3},
+	{Name: "HopsFS-CL (2,3)", System: HopsFSCL, MetaReplication: 2, Zones: 3},
+	{Name: "HopsFS-CL (3,3)", System: HopsFSCL, MetaReplication: 3, Zones: 3},
+	{Name: "CephFS", System: Ceph, MetaReplication: 3, Zones: 3},
+	{Name: "CephFS - DirPinned", System: CephDirPinned, MetaReplication: 3, Zones: 3},
+	{Name: "CephFS - SkipKCache", System: CephSkipKCache, MetaReplication: 3, Zones: 3},
+}
+
+// SetupByName finds a paper setup by its legend name.
+func SetupByName(name string) (Setup, bool) {
+	for _, s := range PaperSetups {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Setup{}, false
+}
+
+// Options parameterize a deployment build.
+type Options struct {
+	// Setup selects the system and replication/zone configuration.
+	Setup Setup
+	// MetadataServers is the NN count (or MDS count for CephFS).
+	MetadataServers int
+	// ClientsPerServer is the closed-loop benchmark client count per
+	// metadata server.
+	ClientsPerServer int
+	// StorageNodes is the NDB datanode count (paper: 12). CephFS uses the
+	// same count of OSDs.
+	StorageNodes int
+	// PartitionsPerTable sets the NDB partition count.
+	PartitionsPerTable int
+	// WithBlockLayer adds block storage datanodes (not needed for the
+	// metadata benchmarks, which use empty files as in §V).
+	WithBlockLayer bool
+	// BlockDataNodes is the DN count when WithBlockLayer is set.
+	BlockDataNodes int
+	// ObjectStoreBlocks replaces datanode replication with a cloud object
+	// store block backend — the paper's §VII future work.
+	ObjectStoreBlocks bool
+	// Namespace shapes the pre-seeded tree.
+	Namespace workload.NamespaceSpec
+	// Seed makes the whole deployment deterministic.
+	Seed int64
+	// DisableReadBackup turns the Read Backup table option off even on
+	// HopsFS-CL — the Figure 14 ablation isolating the feature.
+	DisableReadBackup bool
+	// NDBCosts overrides the storage engine's calibrated service demands
+	// (nil keeps ndb.DefaultCosts) — used by the batching ablation.
+	NDBCosts *ndb.Costs
+}
+
+// DefaultOptions returns the evaluation defaults for a setup.
+func DefaultOptions(setup Setup) Options {
+	return Options{
+		Setup:              setup,
+		MetadataServers:    12,
+		ClientsPerServer:   64,
+		StorageNodes:       12,
+		PartitionsPerTable: 48,
+		Namespace:          workload.DefaultNamespace(),
+		Seed:               1,
+	}
+}
+
+// Deployment is a built, running system with its benchmark clients.
+type Deployment struct {
+	Env   *sim.Env
+	Net   *simnet.Network
+	Opts  Options
+	Setup Setup
+
+	// HopsFS/HopsFS-CL components (nil for CephFS).
+	DB     *ndb.Cluster
+	NS     *namenode.Namesystem
+	Blocks *blocks.Manager
+
+	// CephFS components (nil for HopsFS).
+	Ceph *cephfs.Cluster
+
+	// Clients are the workload-facing file system handles, one per
+	// closed-loop benchmark client.
+	Clients []workload.FS
+
+	// Namespace is the seeded tree the workload generators share.
+	Namespace *workload.Namespace
+
+	hostSeq int
+}
+
+// zoneSet returns the zones this deployment spans. Single-AZ deployments
+// use us-west1-b (zone 2), as the paper does.
+func (o Options) zoneSet() []simnet.ZoneID {
+	if o.Setup.Zones == 1 {
+		return []simnet.ZoneID{2}
+	}
+	return []simnet.ZoneID{1, 2, 3}
+}
+
+func (d *Deployment) nextHost() simnet.HostID {
+	d.hostSeq++
+	return simnet.HostID(d.hostSeq)
+}
+
+// NamespaceSeed derives the workload-namespace seed from a deployment
+// seed. External tools (trace generation) use it to build namespaces that
+// match a deployment built with the same seed.
+func NamespaceSeed(seed int64) int64 { return seed + 7 }
+
+// Build constructs and seeds a deployment.
+func Build(opts Options) (*Deployment, error) {
+	if opts.MetadataServers <= 0 {
+		return nil, errors.New("core: MetadataServers must be positive")
+	}
+	env := sim.New(opts.Seed)
+	net := simnet.New(env, simnet.USWest1())
+	d := &Deployment{Env: env, Net: net, Opts: opts, Setup: opts.Setup, hostSeq: 1000}
+	d.Namespace = workload.BuildNamespace(opts.Namespace, NamespaceSeed(opts.Seed))
+
+	var err error
+	switch opts.Setup.System {
+	case HopsFS, HopsFSCL:
+		err = d.buildHops()
+	case Ceph, CephDirPinned, CephSkipKCache:
+		err = d.buildCeph()
+	default:
+		err = fmt.Errorf("core: unknown system %d", opts.Setup.System)
+	}
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Deployment) buildHops() error {
+	opts := d.Opts
+	zones := opts.zoneSet()
+	aware := opts.Setup.System == HopsFSCL
+
+	dbCfg := ndb.DefaultConfig()
+	dbCfg.DataNodes = opts.StorageNodes
+	dbCfg.Replication = opts.Setup.MetaReplication
+	dbCfg.PartitionsPerTable = opts.PartitionsPerTable
+	dbCfg.AZAware = aware
+	if opts.NDBCosts != nil {
+		dbCfg.Costs = *opts.NDBCosts
+	}
+
+	dataPl := make([]ndb.Placement, 0, opts.StorageNodes)
+	for _, pl := range ndb.SpreadPlacement(opts.StorageNodes, zones, 0) {
+		dataPl = append(dataPl, ndb.Placement{Zone: pl.Zone, Host: d.nextHost()})
+	}
+	var mgmtPl []ndb.Placement
+	if opts.Setup.Zones == 1 {
+		mgmtPl = []ndb.Placement{{Zone: zones[0], Host: d.nextHost()}}
+	} else {
+		// Figure 4: one management node per AZ; M1 (zone 1) arbitrates.
+		for _, z := range zones {
+			mgmtPl = append(mgmtPl, ndb.Placement{Zone: z, Host: d.nextHost()})
+		}
+	}
+	db, err := ndb.New(d.Env, d.Net, dbCfg, dataPl, mgmtPl)
+	if err != nil {
+		return err
+	}
+	d.DB = db
+
+	if opts.WithBlockLayer {
+		bCfg := blocks.DefaultConfig()
+		bCfg.AZAware = aware
+		n := opts.BlockDataNodes
+		if n <= 0 {
+			n = 3 * len(zones)
+		}
+		if opts.ObjectStoreBlocks {
+			n = 0 // the provider owns the storage nodes
+		}
+		var pls []blocks.Placement
+		for i := 0; i < n; i++ {
+			pls = append(pls, blocks.Placement{Zone: zones[i%len(zones)], Host: d.nextHost()})
+		}
+		d.Blocks = blocks.NewManager(d.Env, d.Net, bCfg, pls)
+		if opts.ObjectStoreBlocks {
+			hosts := make([]simnet.ZoneID, len(zones))
+			copy(hosts, zones)
+			store := objstore.New(d.Env, d.Net, objstore.DefaultConfig(), hosts, int(d.nextHost())+100)
+			d.hostSeq += len(zones) + 1
+			d.Blocks.UseObjectStore(store)
+		}
+	}
+
+	nnCfg := namenode.DefaultConfig()
+	// HopsFS-CL enables Read Backup on all tables (§IV-A5), unless the
+	// Figure 14 ablation explicitly disables it.
+	nnCfg.ReadBackup = aware && !opts.DisableReadBackup
+	ns := namenode.NewNamesystem(db, d.Blocks, nnCfg)
+	d.NS = ns
+
+	domainOf := func(z simnet.ZoneID) simnet.ZoneID {
+		if aware {
+			return z
+		}
+		return simnet.ZoneUnset
+	}
+	for i := 0; i < opts.MetadataServers; i++ {
+		z := zones[i%len(zones)]
+		ns.AddNameNode(z, d.nextHost(), domainOf(z))
+	}
+	if err := ns.Seed(d.Namespace.Dirs, d.Namespace.AllFiles()); err != nil {
+		return err
+	}
+	for i := 0; i < opts.MetadataServers*opts.ClientsPerServer; i++ {
+		z := zones[i%len(zones)]
+		cl := ns.NewClient(z, d.nextHost(), domainOf(z))
+		d.Clients = append(d.Clients, hopsAdapter{cl: cl})
+	}
+	return nil
+}
+
+func (d *Deployment) buildCeph() error {
+	opts := d.Opts
+	zones := opts.zoneSet()
+
+	cfg := cephfs.DefaultConfig()
+	cfg.OSDs = opts.StorageNodes
+	switch opts.Setup.System {
+	case Ceph:
+		cfg.Mode = cephfs.Dynamic
+		cfg.KernelCache = true
+	case CephDirPinned:
+		cfg.Mode = cephfs.DirPinned
+		cfg.KernelCache = true
+	case CephSkipKCache:
+		cfg.Mode = cephfs.DirPinned
+		cfg.KernelCache = false
+	}
+	cfg.JournalReplication = opts.Setup.MetaReplication
+
+	mdsZones := make([]simnet.ZoneID, opts.MetadataServers)
+	for i := range mdsZones {
+		mdsZones[i] = zones[i%len(zones)]
+	}
+	c := cephfs.New(d.Env, d.Net, cfg, mdsZones, d.hostSeq)
+	d.hostSeq += opts.StorageNodes + opts.MetadataServers + 1
+	d.Ceph = c
+	if err := c.Seed(d.Namespace.Dirs, d.Namespace.AllFiles()); err != nil {
+		return err
+	}
+	for i := 0; i < opts.MetadataServers*opts.ClientsPerServer; i++ {
+		z := zones[i%len(zones)]
+		cl := c.NewClient(z, d.nextHost())
+		d.Clients = append(d.Clients, cephAdapter{cl: cl})
+	}
+	return nil
+}
+
+// StopBackground halts housekeeping processes so Env.Run can quiesce.
+func (d *Deployment) StopBackground() {
+	if d.DB != nil {
+		d.DB.StopBackground()
+	}
+	if d.NS != nil {
+		d.NS.StopBackground()
+	}
+	if d.Blocks != nil {
+		d.Blocks.Stop()
+	}
+	if d.Ceph != nil {
+		d.Ceph.Stop()
+	}
+}
+
+// Close releases the deployment's simulation resources.
+func (d *Deployment) Close() { d.Env.Close() }
+
+// ServerCPUs returns the metadata servers' CPU resources (NN or MDS).
+func (d *Deployment) ServerCPUs() []*sim.Resource {
+	var out []*sim.Resource
+	if d.NS != nil {
+		for _, nn := range d.NS.NameNodes() {
+			out = append(out, nn.CPU())
+		}
+	}
+	if d.Ceph != nil {
+		for _, m := range d.Ceph.MDSs() {
+			out = append(out, m.CPU())
+		}
+	}
+	return out
+}
+
+// StorageCPUs returns the storage layer's CPU resources: every NDB thread
+// pool. CephFS OSD CPU stays flat and low in the paper (§V-D1); disk and
+// network are the interesting OSD signals, reported via StorageNodes.
+func (d *Deployment) StorageCPUs() []*sim.Resource {
+	var out []*sim.Resource
+	if d.DB != nil {
+		for _, dn := range d.DB.DataNodes() {
+			threads := dn.Threads()
+			out = append(out, threads[:]...)
+		}
+	}
+	return out
+}
+
+// StorageNodes returns the storage layer's network nodes (NDB datanodes or
+// OSDs) for NIC/disk accounting.
+func (d *Deployment) StorageNodes() []*simnet.Node {
+	var out []*simnet.Node
+	if d.DB != nil {
+		for _, dn := range d.DB.DataNodes() {
+			out = append(out, dn.Node)
+		}
+	}
+	if d.Ceph != nil {
+		for _, o := range d.Ceph.OSDs() {
+			out = append(out, o.Node)
+		}
+	}
+	return out
+}
+
+// ServerNodes returns the metadata servers' network nodes.
+func (d *Deployment) ServerNodes() []*simnet.Node {
+	var out []*simnet.Node
+	if d.NS != nil {
+		for _, nn := range d.NS.NameNodes() {
+			out = append(out, nn.Node)
+		}
+	}
+	if d.Ceph != nil {
+		for _, m := range d.Ceph.MDSs() {
+			out = append(out, m.Node)
+		}
+	}
+	return out
+}
+
+// ServerRequests returns the number of requests actually handled by each
+// metadata server (Figure 6: kernel-cache hits never reach a CephFS MDS).
+func (d *Deployment) ServerRequests() []int64 {
+	var out []int64
+	if d.NS != nil {
+		for _, nn := range d.NS.NameNodes() {
+			out = append(out, nn.Ops)
+		}
+	}
+	if d.Ceph != nil {
+		for _, m := range d.Ceph.MDSs() {
+			out = append(out, m.Requests)
+		}
+	}
+	return out
+}
+
+// hopsAdapter adapts a HopsFS/HopsFS-CL client to the workload interface.
+// Files are created empty, as in all §V metadata benchmarks.
+type hopsAdapter struct{ cl *namenode.Client }
+
+var _ workload.FS = hopsAdapter{}
+
+func (a hopsAdapter) Mkdir(p *sim.Proc, path string) error  { return a.cl.Mkdir(p, path) }
+func (a hopsAdapter) Create(p *sim.Proc, path string) error { return a.cl.Create(p, path, 0) }
+func (a hopsAdapter) Stat(p *sim.Proc, path string) error {
+	_, err := a.cl.Stat(p, path)
+	return err
+}
+func (a hopsAdapter) Read(p *sim.Proc, path string) error {
+	_, err := a.cl.ReadFile(p, path)
+	return err
+}
+func (a hopsAdapter) List(p *sim.Proc, path string) error {
+	_, err := a.cl.List(p, path)
+	return err
+}
+func (a hopsAdapter) Delete(p *sim.Proc, path string) error { return a.cl.Delete(p, path, false) }
+func (a hopsAdapter) Rename(p *sim.Proc, src, dst string) error {
+	return a.cl.Rename(p, src, dst)
+}
+func (a hopsAdapter) SetPermission(p *sim.Proc, path string) error {
+	return a.cl.SetPermission(p, path, 0o644)
+}
+
+// cephAdapter adapts a CephFS kernel client to the workload interface.
+type cephAdapter struct{ cl *cephfs.Client }
+
+var _ workload.FS = cephAdapter{}
+
+func (a cephAdapter) Mkdir(p *sim.Proc, path string) error  { return a.cl.Mkdir(p, path) }
+func (a cephAdapter) Create(p *sim.Proc, path string) error { return a.cl.Create(p, path, 0) }
+func (a cephAdapter) Stat(p *sim.Proc, path string) error   { return a.cl.Stat(p, path) }
+func (a cephAdapter) Read(p *sim.Proc, path string) error   { return a.cl.Read(p, path) }
+func (a cephAdapter) List(p *sim.Proc, path string) error   { return a.cl.List(p, path) }
+func (a cephAdapter) Delete(p *sim.Proc, path string) error { return a.cl.Delete(p, path, false) }
+func (a cephAdapter) Rename(p *sim.Proc, src, dst string) error {
+	return a.cl.Rename(p, src, dst)
+}
+func (a cephAdapter) SetPermission(p *sim.Proc, path string) error {
+	return a.cl.SetPermission(p, path, 0o644)
+}

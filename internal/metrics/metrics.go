@@ -1,0 +1,247 @@
+// Package metrics provides the measurement plumbing for the experiment
+// harness: latency histograms with percentile queries, windowed resource
+// utilization from the simulation kernel's busy-time integrals, and byte
+// counter snapshots.
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"hopsfscl/internal/sim"
+)
+
+// Histogram collects latency samples with deterministic reservoir sampling
+// so memory stays bounded for arbitrarily long runs.
+type Histogram struct {
+	samples []time.Duration
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	cap     int
+	rng     *rand.Rand
+}
+
+// NewHistogram returns a histogram keeping at most capSamples samples
+// (reservoir-sampled beyond that). A zero capSamples defaults to 64k.
+func NewHistogram(capSamples int, seed int64) *Histogram {
+	if capSamples <= 0 {
+		capSamples = 64 << 10
+	}
+	return &Histogram{
+		cap: capSamples,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, d)
+		return
+	}
+	// Vitter's algorithm R.
+	if idx := h.rng.Int63n(h.count); idx < int64(h.cap) {
+		h.samples[idx] = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the average of all observations.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Percentile returns the q-quantile (0 < q <= 1) from the retained sample.
+func (h *Histogram) Percentile(q float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(h.samples))
+	copy(s, h.samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q*float64(len(s))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Reset clears all state.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.count = 0
+	h.sum = 0
+	h.max = 0
+}
+
+// UtilWindow measures average utilization of a set of resources over a
+// window: Mark at window start, Report at window end.
+type UtilWindow struct {
+	res    []*sim.Resource
+	busyAt []int64
+	start  time.Duration
+}
+
+// NewUtilWindow tracks the given resources.
+func NewUtilWindow(res ...*sim.Resource) *UtilWindow {
+	return &UtilWindow{res: res, busyAt: make([]int64, len(res))}
+}
+
+// Mark snapshots the window start at the current virtual time.
+func (u *UtilWindow) Mark(now time.Duration) {
+	u.start = now
+	for i, r := range u.res {
+		u.busyAt[i] = r.BusyIntegral()
+	}
+}
+
+// Report returns the average utilization (0..1) across all tracked
+// resources since Mark.
+func (u *UtilWindow) Report(now time.Duration) float64 {
+	window := now - u.start
+	if window <= 0 || len(u.res) == 0 {
+		return 0
+	}
+	var total float64
+	for i, r := range u.res {
+		delta := r.BusyIntegral() - u.busyAt[i]
+		total += float64(delta) / (float64(r.Capacity()) * float64(window))
+	}
+	return total / float64(len(u.res))
+}
+
+// ReportEach returns per-resource utilizations since Mark.
+func (u *UtilWindow) ReportEach(now time.Duration) []float64 {
+	window := now - u.start
+	out := make([]float64, len(u.res))
+	if window <= 0 {
+		return out
+	}
+	for i, r := range u.res {
+		delta := r.BusyIntegral() - u.busyAt[i]
+		out[i] = float64(delta) / (float64(r.Capacity()) * float64(window))
+	}
+	return out
+}
+
+// Rate formats ops over a window as a human-readable ops/sec string.
+func Rate(ops int64, window time.Duration) string {
+	return FormatOps(OpsPerSec(ops, window))
+}
+
+// OpsPerSec converts a count over a window to a rate.
+func OpsPerSec(ops int64, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(ops) / window.Seconds()
+}
+
+// FormatOps renders a rate as e.g. "1.66M", "800K", "950".
+func FormatOps(rate float64) string {
+	switch {
+	case rate >= 1e6:
+		return fmt.Sprintf("%.2fM", rate/1e6)
+	case rate >= 1e3:
+		return fmt.Sprintf("%.0fK", rate/1e3)
+	default:
+		return fmt.Sprintf("%.0f", rate)
+	}
+}
+
+// Sparkline renders values as a compact unicode bar series, normalized to
+// the series maximum — used for throughput timelines in experiment output.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	bars := []rune("▁▂▃▄▅▆▇█")
+	max := values[0]
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		return strings.Repeat(string(bars[0]), len(values))
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := int(v / max * float64(len(bars)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(bars) {
+			idx = len(bars) - 1
+		}
+		b.WriteRune(bars[idx])
+	}
+	return b.String()
+}
+
+// Table is a minimal fixed-width table printer for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row (stringified cells).
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hopsfscl/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1000, 1)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := h.Percentile(0.5); got < 49*time.Millisecond || got > 51*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(0.99); got < 98*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramReservoirBoundsMemory(t *testing.T) {
+	h := NewHistogram(128, 1)
+	for i := 0; i < 100000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if len(h.samples) != 128 {
+		t.Fatalf("retained %d samples, want 128", len(h.samples))
+	}
+	if h.Count() != 100000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// The reservoir median should be around the true median.
+	p50 := h.Percentile(0.5)
+	if p50 < 30*time.Millisecond || p50 > 70*time.Millisecond {
+		t.Fatalf("reservoir p50 = %v, want ~50ms", p50)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(16, 1)
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestUtilWindow(t *testing.T) {
+	env := sim.New(1)
+	defer env.Close()
+	res := sim.NewResource(env, "cpu", 2)
+	env.Spawn("w", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond) // outside window activity later
+		res.Use(p, 2, 10*time.Millisecond)
+	})
+	u := NewUtilWindow(res)
+	env.RunFor(10 * time.Millisecond)
+	u.Mark(env.Now())
+	env.RunFor(10 * time.Millisecond)
+	got := u.Report(env.Now())
+	if got < 0.99 || got > 1.01 {
+		t.Fatalf("window util = %f, want 1.0", got)
+	}
+	// Next window: idle.
+	u.Mark(env.Now())
+	env.RunFor(10 * time.Millisecond)
+	if got := u.Report(env.Now()); got != 0 {
+		t.Fatalf("idle window util = %f", got)
+	}
+}
+
+func TestRateFormatting(t *testing.T) {
+	tests := []struct {
+		rate float64
+		want string
+	}{
+		{1_660_000, "1.66M"},
+		{770_000, "770K"},
+		{950, "950"},
+	}
+	for _, tt := range tests {
+		if got := FormatOps(tt.rate); got != tt.want {
+			t.Errorf("FormatOps(%f) = %q, want %q", tt.rate, got, tt.want)
+		}
+	}
+	if got := OpsPerSec(100, time.Second); got != 100 {
+		t.Errorf("OpsPerSec = %f", got)
+	}
+	if got := OpsPerSec(100, 0); got != 0 {
+		t.Errorf("OpsPerSec zero window = %f", got)
+	}
+}
+
+func TestTableRendersAligned(t *testing.T) {
+	tbl := NewTable("setup", "ops/sec")
+	tbl.AddRow("HopsFS (2,1)", "1.62M")
+	tbl.AddRow("CephFS", "770K")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "setup") || !strings.Contains(lines[2], "1.62M") {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty series = %q", got)
+	}
+	if got := Sparkline([]float64{0, 0}); got != "▁▁" {
+		t.Fatalf("zero series = %q", got)
+	}
+	got := Sparkline([]float64{1, 4, 8})
+	runes := []rune(got)
+	if len(runes) != 3 {
+		t.Fatalf("length = %d", len(runes))
+	}
+	if runes[2] != '█' {
+		t.Fatalf("max bar = %q", string(runes[2]))
+	}
+	if runes[0] >= runes[1] || runes[1] >= runes[2] {
+		t.Fatalf("bars not increasing: %q", got)
+	}
+}

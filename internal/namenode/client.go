@@ -1,0 +1,319 @@
+package namenode
+
+import (
+	"errors"
+	"time"
+
+	"hopsfscl/internal/blocks"
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/simnet"
+)
+
+// Wire sizes for client-NN RPCs.
+const (
+	rpcReqSize  = 256
+	rpcRespSize = 512
+)
+
+// Client is a HopsFS-CL file system client. Per §II-A2 and §IV-B3: a client
+// fetches the active metadata-server list from the leader, prefers a server
+// with its own locationDomainId (falling back to a random one), sticks with
+// it until it fails, and then selects a random surviving server.
+type Client struct {
+	ns     *Namesystem
+	Node   *simnet.Node
+	Domain simnet.ZoneID
+
+	nn *NameNode
+
+	// Ops and LatencySum feed the benchmark harness.
+	Ops        int64
+	LatencySum time.Duration
+}
+
+// NewClient registers a client in the given zone. domain is its
+// locationDomainId (ZoneUnset disables the AZ-local preference).
+func (ns *Namesystem) NewClient(zone simnet.ZoneID, host simnet.HostID, domain simnet.ZoneID) *Client {
+	return &Client{
+		ns:     ns,
+		Node:   ns.db.Net().NewNode("client", zone, host),
+		Domain: domain,
+	}
+}
+
+// CurrentNameNode returns the server the client is stuck to (nil before the
+// first operation).
+func (cl *Client) CurrentNameNode() *NameNode { return cl.nn }
+
+// pick selects (or keeps) the client's metadata server.
+func (cl *Client) pick(p *sim.Proc) (*NameNode, error) {
+	if cl.nn != nil && cl.nn.Alive() {
+		return cl.nn, nil
+	}
+	leader := cl.ns.ElectedLeader()
+	if leader == nil {
+		return nil, ErrNoNameNodes
+	}
+	// Fetch the active-NN list from the leader.
+	if !cl.travel(p, cl.Node, leader.Node, rpcReqSize) {
+		return nil, ErrNoNameNodes
+	}
+	leader.charge(p, 0)
+	active := leader.ActiveNameNodes()
+	if !cl.travel(p, leader.Node, cl.Node, rpcRespSize+16*len(active)) {
+		return nil, ErrNoNameNodes
+	}
+	if len(active) == 0 {
+		// Elections have not completed a round yet; the leader answers
+		// with the statically configured server set.
+		for _, nn := range cl.ns.nns {
+			active = append(active, ActiveNN{ID: nn.ID, Domain: nn.Domain})
+		}
+	}
+	var local, all []*NameNode
+	for _, a := range active {
+		if a.ID < 1 || a.ID > len(cl.ns.nns) {
+			continue
+		}
+		nn := cl.ns.nns[a.ID-1]
+		if !nn.Alive() {
+			continue
+		}
+		all = append(all, nn)
+		if cl.Domain != simnet.ZoneUnset && a.Domain == cl.Domain {
+			local = append(local, nn)
+		}
+	}
+	pool := local
+	if len(pool) == 0 {
+		pool = all
+	}
+	if len(pool) == 0 {
+		// Every server in the leader's (possibly stale) view is dead:
+		// fall back to the statically configured set, like a real client
+		// falling back to its configured namenode list.
+		for _, nn := range cl.ns.nns {
+			if nn.Alive() {
+				pool = append(pool, nn)
+			}
+		}
+	}
+	if len(pool) == 0 {
+		return nil, ErrNoNameNodes
+	}
+	cl.nn = pool[p.Rand().Intn(len(pool))]
+	return cl.nn, nil
+}
+
+func (cl *Client) travel(p *sim.Proc, from, to *simnet.Node, size int) bool {
+	return cl.ns.db.Net().TravelDeferred(p, from, to, size, 2*time.Second)
+}
+
+// do runs one metadata RPC against the client's server, switching to a
+// surviving server when the current one fails mid-call.
+func (cl *Client) do(p *sim.Proc, reqExtra, respExtra int, fn func(nn *NameNode) error) error {
+	return cl.doSized(p, reqExtra, func(nn *NameNode) (int, error) {
+		return respExtra, fn(nn)
+	})
+}
+
+// doSized is do with a response payload size determined by the handler
+// (e.g. inline file bytes riding the reply).
+func (cl *Client) doSized(p *sim.Proc, reqExtra int, fn func(nn *NameNode) (int, error)) error {
+	start := p.Now()
+	for attempt := 0; attempt < 4; attempt++ {
+		nn, err := cl.pick(p)
+		if err != nil {
+			return err
+		}
+		if !cl.travel(p, cl.Node, nn.Node, rpcReqSize+reqExtra) {
+			cl.nn = nil
+			continue
+		}
+		respExtra, err := fn(nn)
+		if !cl.travel(p, nn.Node, cl.Node, rpcRespSize+respExtra) {
+			cl.nn = nil
+			continue
+		}
+		// Synchronize with the clock so the recorded end-to-end latency
+		// includes every deferred hop and service time.
+		p.Flush()
+		cl.Ops++
+		cl.LatencySum += p.Now() - start
+		return err
+	}
+	return ErrNoNameNodes
+}
+
+// Exists reports whether a path resolves.
+func (cl *Client) Exists(p *sim.Proc, path string) (bool, error) {
+	_, err := cl.Stat(p, path)
+	if errors.Is(err, ErrNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Du returns the content summary of a subtree: file count, directory
+// count, and total logical bytes (the HDFS getContentSummary operation,
+// implemented as recursive partition-pruned scans in one transaction).
+func (cl *Client) Du(p *sim.Proc, path string) (files, dirs int, bytes int64, err error) {
+	err = cl.do(p, 0, 0, func(nn *NameNode) error {
+		var ierr error
+		files, dirs, bytes, ierr = nn.ContentSummary(p, path)
+		return ierr
+	})
+	return files, dirs, bytes, err
+}
+
+// Mkdir creates a directory.
+func (cl *Client) Mkdir(p *sim.Proc, path string) error {
+	return cl.do(p, 0, 0, func(nn *NameNode) error { return nn.Mkdir(p, path, 0o755) })
+}
+
+// MkdirAll creates a directory and any missing ancestors.
+func (cl *Client) MkdirAll(p *sim.Proc, path string) error {
+	comps, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	cur := ""
+	for _, c := range comps {
+		cur += "/" + c
+		if err := cl.Mkdir(p, cur); err != nil && err != ErrExists {
+			return err
+		}
+	}
+	return nil
+}
+
+// Create creates an empty or small file (metadata-only operation).
+func (cl *Client) Create(p *sim.Proc, path string, size int64) error {
+	return cl.do(p, int(size), 0, func(nn *NameNode) error {
+		_, err := nn.Create(p, path, size)
+		return err
+	})
+}
+
+// WriteFile creates a file of the given size: small files travel inline to
+// NDB with the metadata; large files are split into blocks and streamed
+// through the block layer pipeline, then attached to the inode.
+func (cl *Client) WriteFile(p *sim.Proc, path string, size int64) error {
+	if size <= cl.ns.cfg.SmallFileThreshold || cl.ns.blockMgr == nil {
+		return cl.Create(p, path, size)
+	}
+	if err := cl.Create(p, path, 0); err != nil {
+		return err
+	}
+	mgr := cl.ns.blockMgr
+	var ids []blocks.BlockID
+	remaining := size
+	for remaining > 0 {
+		sz := min(remaining, mgr.BlockSize())
+		b, err := mgr.WriteBlock(p, cl.Node, 0, sz)
+		if err != nil {
+			return err
+		}
+		ids = append(ids, b.ID)
+		remaining -= sz
+	}
+	return cl.do(p, 0, 0, func(nn *NameNode) error {
+		return nn.AttachBlocks(p, path, ids, size)
+	})
+}
+
+// ReadFile reads a file: the metadata operation plus inline data or block
+// streaming, preferring AZ-local block replicas. Inline small-file bytes
+// ride the metadata response from the NN (§II-A3), so they are charged on
+// that leg of the wire.
+func (cl *Client) ReadFile(p *sim.Proc, path string) (*Inode, error) {
+	var ino *Inode
+	err := cl.doSized(p, 0, func(nn *NameNode) (int, error) {
+		got, err := nn.GetBlockLocations(p, path)
+		if err != nil {
+			return 0, err
+		}
+		ino = got
+		return int(got.InlineSize), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cl.ns.blockMgr != nil {
+		for _, id := range ino.Blocks {
+			if _, err := cl.ns.blockMgr.ReadBlock(p, cl.Node, id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ino, nil
+}
+
+// Stat returns metadata for a path.
+func (cl *Client) Stat(p *sim.Proc, path string) (*Inode, error) {
+	var out *Inode
+	err := cl.do(p, 0, 0, func(nn *NameNode) error {
+		got, err := nn.Stat(p, path)
+		if err != nil {
+			return err
+		}
+		out = got
+		return nil
+	})
+	return out, err
+}
+
+// List returns a directory's children.
+func (cl *Client) List(p *sim.Proc, path string) ([]*Inode, error) {
+	var out []*Inode
+	err := cl.do(p, 0, 0, func(nn *NameNode) error {
+		got, err := nn.List(p, path)
+		if err != nil {
+			return err
+		}
+		out = got
+		return nil
+	})
+	return out, err
+}
+
+// Delete removes a path, reclaiming block replicas after the metadata
+// transaction commits.
+func (cl *Client) Delete(p *sim.Proc, path string, recursive bool) error {
+	var freed []blocks.BlockID
+	err := cl.do(p, 0, 0, func(nn *NameNode) error {
+		got, err := nn.Delete(p, path, recursive)
+		if err != nil {
+			return err
+		}
+		freed = got
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if cl.ns.blockMgr != nil {
+		for _, id := range freed {
+			cl.ns.blockMgr.DeleteBlock(id)
+		}
+	}
+	return nil
+}
+
+// Rename atomically moves src to dst.
+func (cl *Client) Rename(p *sim.Proc, src, dst string) error {
+	return cl.do(p, 0, 0, func(nn *NameNode) error { return nn.Rename(p, src, dst) })
+}
+
+// SetPermission updates mode bits.
+func (cl *Client) SetPermission(p *sim.Proc, path string, perm uint16) error {
+	return cl.do(p, 0, 0, func(nn *NameNode) error { return nn.SetPermission(p, path, perm) })
+}
+
+// SetOwner updates ownership.
+func (cl *Client) SetOwner(p *sim.Proc, path, owner string) error {
+	return cl.do(p, 0, 0, func(nn *NameNode) error { return nn.SetOwner(p, path, owner) })
+}

@@ -1,0 +1,558 @@
+package namenode
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"hopsfscl/internal/blocks"
+	"hopsfscl/internal/ndb"
+	"hopsfscl/internal/sim"
+)
+
+// splitPath validates an absolute path and returns its components.
+func splitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, ErrInvalidPath
+	}
+	if path == "/" {
+		return nil, nil
+	}
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	for _, c := range parts {
+		if c == "" || c == "." || c == ".." {
+			return nil, ErrInvalidPath
+		}
+	}
+	return parts, nil
+}
+
+// hintFor computes the transaction's distribution-aware hint: the partition
+// key of the target's parent directory, from the inode hint cache when
+// possible (a stale hint only costs locality, never correctness).
+func (nn *NameNode) hintFor(comps []string) string {
+	if len(comps) == 0 {
+		return partKeyOf(0, "")
+	}
+	if len(comps) == 1 {
+		return partKeyOf(RootID, comps[0])
+	}
+	dir := "/" + strings.Join(comps[:len(comps)-1], "/")
+	if id, ok := nn.cache[dir]; ok {
+		return partKey(id)
+	}
+	// Unresolved parent: hint with the top-level component's partition.
+	return partKeyOf(RootID, comps[0])
+}
+
+// readInode fetches one inode row read-committed.
+func (nn *NameNode) readInode(tx *ndb.Txn, parent uint64, name string) (*Inode, error) {
+	v, ok, err := tx.ReadCommitted(nn.ns.inodes, partKeyOf(parent, name), inodeKey(parent, name))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrNotFound
+	}
+	ino, ok := v.(*Inode)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return ino, nil
+}
+
+// lockInode re-reads an inode under a row lock on the primary replica.
+func (nn *NameNode) lockInode(tx *ndb.Txn, parent uint64, name string, mode ndb.LockMode) (*Inode, error) {
+	v, ok, err := tx.ReadLocked(nn.ns.inodes, partKeyOf(parent, name), inodeKey(parent, name), mode)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrNotFound
+	}
+	ino, ok := v.(*Inode)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return ino, nil
+}
+
+// resolveChain walks the path from the root with read-committed reads
+// (hierarchical implicit locking: ancestors are not locked) and returns the
+// inode chain [root, ..., target]. It also refreshes the hint cache.
+// rootInode is the immutable "/" inode, cached at every metadata server —
+// HopsFS never reads it from the database on the hot path ([23]: the root
+// inode is immutable and cached at all namenodes).
+var rootInode = &Inode{ID: RootID, Parent: 0, Name: "", Dir: true, Perm: 0o755, Owner: "hdfs"}
+
+func (nn *NameNode) resolveChain(tx *ndb.Txn, comps []string) ([]*Inode, error) {
+	root := rootInode
+	chain := make([]*Inode, 0, len(comps)+1)
+	chain = append(chain, root)
+	cur := root
+	for i, c := range comps {
+		if !cur.Dir {
+			return nil, ErrNotDir
+		}
+		child, err := nn.readInode(tx, cur.ID, c)
+		if err != nil {
+			return nil, err
+		}
+		nn.cache["/"+strings.Join(comps[:i+1], "/")] = child.ID
+		chain = append(chain, child)
+		cur = child
+	}
+	return chain, nil
+}
+
+// resolveParent resolves everything but the last component and returns the
+// parent inode plus the target's name.
+func (nn *NameNode) resolveParent(tx *ndb.Txn, comps []string) (*Inode, string, error) {
+	if len(comps) == 0 {
+		return nil, "", ErrInvalidPath
+	}
+	chain, err := nn.resolveChain(tx, comps[:len(comps)-1])
+	if err != nil {
+		return nil, "", err
+	}
+	parent := chain[len(chain)-1]
+	if !parent.Dir {
+		return nil, "", ErrNotDir
+	}
+	return parent, comps[len(comps)-1], nil
+}
+
+// Mkdir creates a directory. The parent is share-locked (it must keep
+// existing), the new child row is exclusively locked by the insert.
+func (nn *NameNode) Mkdir(p *sim.Proc, path string, perm uint16) error {
+	comps, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(comps) == 0 {
+		return ErrExists
+	}
+	nn.charge(p, len(comps))
+	nn.Ops++
+	return nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+		parent, name, err := nn.resolveParent(tx, comps)
+		if err != nil {
+			return err
+		}
+		if _, err := nn.lockInode(tx, parent.Parent, parent.Name, ndb.LockShared); err != nil {
+			return err
+		}
+		// Exclusive-lock the child row first, then check existence: two
+		// racing creators serialize on the lock and the loser sees the
+		// winner's row.
+		if _, ok, err := tx.ReadLocked(nn.ns.inodes, partKeyOf(parent.ID, name), inodeKey(parent.ID, name), ndb.LockExclusive); err != nil {
+			return err
+		} else if ok {
+			return ErrExists
+		}
+		ino := &Inode{
+			ID:     nn.ns.nextID(),
+			Parent: parent.ID,
+			Name:   name,
+			Dir:    true,
+			Perm:   perm,
+			Owner:  "hdfs",
+			Mtime:  p.Now(),
+		}
+		return tx.Insert(nn.ns.inodes, partKeyOf(parent.ID, name), inodeKey(parent.ID, name), ino)
+	})
+}
+
+// Create creates a file of the given logical size. Sizes at or below the
+// small-file threshold are recorded as stored inline in NDB (§II-A3);
+// larger files get their block list attached later via AttachBlocks (the
+// client writes blocks through the block layer between the two).
+func (nn *NameNode) Create(p *sim.Proc, path string, size int64) (*Inode, error) {
+	comps, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(comps) == 0 {
+		return nil, ErrExists
+	}
+	nn.charge(p, len(comps))
+	nn.Ops++
+	var created *Inode
+	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+		parent, name, err := nn.resolveParent(tx, comps)
+		if err != nil {
+			return err
+		}
+		if _, err := nn.lockInode(tx, parent.Parent, parent.Name, ndb.LockShared); err != nil {
+			return err
+		}
+		if _, ok, err := tx.ReadLocked(nn.ns.inodes, partKeyOf(parent.ID, name), inodeKey(parent.ID, name), ndb.LockExclusive); err != nil {
+			return err
+		} else if ok {
+			return ErrExists
+		}
+		ino := &Inode{
+			ID:     nn.ns.nextID(),
+			Parent: parent.ID,
+			Name:   name,
+			Perm:   0o644,
+			Owner:  "hdfs",
+			Size:   size,
+			Mtime:  p.Now(),
+		}
+		if size <= nn.ns.cfg.SmallFileThreshold {
+			ino.InlineSize = size
+		}
+		created = ino
+		return tx.Insert(nn.ns.inodes, partKeyOf(parent.ID, name), inodeKey(parent.ID, name), ino)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return created, nil
+}
+
+// Stat returns a file or directory's metadata (read-committed, lock-free).
+func (nn *NameNode) Stat(p *sim.Proc, path string) (*Inode, error) {
+	comps, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	nn.charge(p, len(comps))
+	nn.Ops++
+	var out *Inode
+	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+		chain, err := nn.resolveChain(tx, comps)
+		if err != nil {
+			return err
+		}
+		out = chain[len(chain)-1]
+		return nil
+	})
+	return out, err
+}
+
+// GetBlockLocations is the read-file metadata operation: ancestors are read
+// committed, the target inode is share-locked to guarantee the freshest
+// block list (locked reads always go to the primary replica, §II-B2).
+func (nn *NameNode) GetBlockLocations(p *sim.Proc, path string) (*Inode, error) {
+	comps, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(comps) == 0 {
+		return nil, ErrIsDir
+	}
+	nn.charge(p, len(comps))
+	nn.Ops++
+	var out *Inode
+	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+		parent, name, err := nn.resolveParent(tx, comps)
+		if err != nil {
+			return err
+		}
+		ino, err := nn.lockInode(tx, parent.ID, name, ndb.LockShared)
+		if err != nil {
+			return err
+		}
+		if ino.Dir {
+			return ErrIsDir
+		}
+		out = ino
+		return nil
+	})
+	return out, err
+}
+
+// List returns a directory's children, name-sorted. The directory is
+// share-locked; the children are one partition-pruned scan.
+func (nn *NameNode) List(p *sim.Proc, path string) ([]*Inode, error) {
+	comps, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	nn.charge(p, len(comps))
+	nn.Ops++
+	var out []*Inode
+	err = nn.runTxn(p, nn.hintFor(append(comps, "")), func(tx *ndb.Txn) error {
+		out = out[:0]
+		chain, err := nn.resolveChain(tx, comps)
+		if err != nil {
+			return err
+		}
+		dir := chain[len(chain)-1]
+		if !dir.Dir {
+			return ErrNotDir
+		}
+		if dir.ID != RootID {
+			if _, err := nn.lockInode(tx, dir.Parent, dir.Name, ndb.LockShared); err != nil {
+				return err
+			}
+		}
+		var kvs []ndb.KV
+		if dir.ID == RootID {
+			// The root's children are deliberately scattered across
+			// partitions (see partKeyOf); listing "/" is a table scan.
+			kvs, err = tx.ScanTablePrefix(nn.ns.inodes, inodeKey(dir.ID, ""))
+		} else {
+			kvs, err = tx.ScanPrefix(nn.ns.inodes, partKey(dir.ID), inodeKey(dir.ID, ""))
+		}
+		if err != nil {
+			return err
+		}
+		for _, kv := range kvs {
+			if ino, ok := kv.Val.(*Inode); ok && ino.Parent == dir.ID {
+				out = append(out, ino)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	nn.cpu.UseDeferred(p, time.Duration(len(out))*nn.ns.cfg.Costs.PerListEntry)
+	return out, nil
+}
+
+// Delete removes a file or directory. Non-recursive deletes of non-empty
+// directories fail with ErrNotEmpty. It returns the block ids freed so the
+// caller can reclaim them in the block layer after the commit.
+func (nn *NameNode) Delete(p *sim.Proc, path string, recursive bool) ([]blocks.BlockID, error) {
+	comps, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(comps) == 0 {
+		return nil, ErrInvalidPath
+	}
+	nn.charge(p, len(comps))
+	nn.Ops++
+	var freed []blocks.BlockID
+	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+		freed = freed[:0]
+		parent, name, err := nn.resolveParent(tx, comps)
+		if err != nil {
+			return err
+		}
+		if _, err := nn.lockInode(tx, parent.Parent, parent.Name, ndb.LockShared); err != nil {
+			return err
+		}
+		target, err := nn.lockInode(tx, parent.ID, name, ndb.LockExclusive)
+		if err != nil {
+			return err
+		}
+		return nn.deleteSubtree(tx, target, recursive, true, &freed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return freed, nil
+}
+
+// deleteSubtree removes target and (recursively) its children within the
+// same transaction — HopsFS's atomic subtree delete.
+func (nn *NameNode) deleteSubtree(tx *ndb.Txn, target *Inode, recursive, topLocked bool, freed *[]blocks.BlockID) error {
+	if target.Dir {
+		kvs, err := tx.ScanPrefix(nn.ns.inodes, partKey(target.ID), inodeKey(target.ID, ""))
+		if err != nil {
+			return err
+		}
+		if len(kvs) > 0 && !recursive {
+			return ErrNotEmpty
+		}
+		for _, kv := range kvs {
+			child, ok := kv.Val.(*Inode)
+			if !ok {
+				continue
+			}
+			if _, err := nn.lockInode(tx, target.ID, child.Name, ndb.LockExclusive); err != nil {
+				return err
+			}
+			if err := nn.deleteSubtree(tx, child, recursive, true, freed); err != nil {
+				return err
+			}
+		}
+	}
+	*freed = append(*freed, target.Blocks...)
+	return tx.Delete(nn.ns.inodes, partKeyOf(target.Parent, target.Name), inodeKey(target.Parent, target.Name))
+}
+
+// Rename atomically moves src to dst — the operation object stores cannot
+// provide (§I). Lock order is by (partition, row key) to avoid deadlocks
+// between concurrent renames.
+func (nn *NameNode) Rename(p *sim.Proc, src, dst string) error {
+	srcComps, err := splitPath(src)
+	if err != nil {
+		return err
+	}
+	dstComps, err := splitPath(dst)
+	if err != nil {
+		return err
+	}
+	if len(srcComps) == 0 || len(dstComps) == 0 {
+		return ErrInvalidPath
+	}
+	nn.charge(p, len(srcComps)+len(dstComps))
+	nn.Ops++
+	return nn.runTxn(p, nn.hintFor(srcComps), func(tx *ndb.Txn) error {
+		srcParent, srcName, err := nn.resolveParent(tx, srcComps)
+		if err != nil {
+			return err
+		}
+		srcIno, err := nn.readInode(tx, srcParent.ID, srcName)
+		if err != nil {
+			return err
+		}
+		dstChain, err := nn.resolveChain(tx, dstComps[:len(dstComps)-1])
+		if err != nil {
+			return err
+		}
+		dstParent := dstChain[len(dstChain)-1]
+		if !dstParent.Dir {
+			return ErrNotDir
+		}
+		dstName := dstComps[len(dstComps)-1]
+		// Cycle check: the destination's ancestor chain must not contain
+		// the source inode.
+		for _, anc := range dstChain {
+			if anc.ID == srcIno.ID {
+				return ErrCycle
+			}
+		}
+		// Deterministic lock order over the two row keys.
+		type lockSpec struct{ pk, key string }
+		specs := []lockSpec{
+			{partKeyOf(srcParent.ID, srcName), inodeKey(srcParent.ID, srcName)},
+			{partKeyOf(dstParent.ID, dstName), inodeKey(dstParent.ID, dstName)},
+		}
+		sort.Slice(specs, func(i, j int) bool {
+			if specs[i].pk != specs[j].pk {
+				return specs[i].pk < specs[j].pk
+			}
+			return specs[i].key < specs[j].key
+		})
+		for _, s := range specs {
+			if _, _, err := tx.ReadLocked(nn.ns.inodes, s.pk, s.key, ndb.LockExclusive); err != nil {
+				return err
+			}
+		}
+		// Re-validate under locks.
+		srcIno, err = nn.readInode(tx, srcParent.ID, srcName)
+		if err != nil {
+			return err
+		}
+		if _, err := nn.readInode(tx, dstParent.ID, dstName); err == nil {
+			return ErrExists
+		} else if err != ErrNotFound {
+			return err
+		}
+		moved := *srcIno
+		moved.Parent = dstParent.ID
+		moved.Name = dstName
+		moved.Mtime = p.Now()
+		if err := tx.Delete(nn.ns.inodes, partKeyOf(srcParent.ID, srcName), inodeKey(srcParent.ID, srcName)); err != nil {
+			return err
+		}
+		return tx.Insert(nn.ns.inodes, partKeyOf(dstParent.ID, dstName), inodeKey(dstParent.ID, dstName), &moved)
+	})
+}
+
+// SetPermission updates an inode's mode bits under an exclusive lock.
+func (nn *NameNode) SetPermission(p *sim.Proc, path string, perm uint16) error {
+	return nn.updateInode(p, path, func(ino *Inode) { ino.Perm = perm })
+}
+
+// SetOwner updates an inode's owner under an exclusive lock.
+func (nn *NameNode) SetOwner(p *sim.Proc, path, owner string) error {
+	return nn.updateInode(p, path, func(ino *Inode) { ino.Owner = owner })
+}
+
+// AttachBlocks records the block list of a large file after the client has
+// written the blocks through the block layer (the create/addBlock/complete
+// protocol collapsed into one metadata update).
+func (nn *NameNode) AttachBlocks(p *sim.Proc, path string, ids []blocks.BlockID, size int64) error {
+	return nn.updateInode(p, path, func(ino *Inode) {
+		ino.Blocks = append([]blocks.BlockID(nil), ids...)
+		ino.Size = size
+	})
+}
+
+func (nn *NameNode) updateInode(p *sim.Proc, path string, mutate func(*Inode)) error {
+	comps, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(comps) == 0 {
+		return ErrInvalidPath
+	}
+	nn.charge(p, len(comps))
+	nn.Ops++
+	return nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+		parent, name, err := nn.resolveParent(tx, comps)
+		if err != nil {
+			return err
+		}
+		ino, err := nn.lockInode(tx, parent.ID, name, ndb.LockExclusive)
+		if err != nil {
+			return err
+		}
+		updated := *ino
+		mutate(&updated)
+		updated.Mtime = p.Now()
+		return tx.Insert(nn.ns.inodes, partKeyOf(parent.ID, name), inodeKey(parent.ID, name), &updated)
+	})
+}
+
+// ContentSummary walks a subtree inside one transaction and returns its
+// file count, directory count (including the root of the walk), and total
+// logical bytes — HDFS's getContentSummary. Reads are read-committed; like
+// HDFS, the summary is a consistent-enough snapshot, not a serialized one.
+func (nn *NameNode) ContentSummary(p *sim.Proc, path string) (files, dirs int, size int64, err error) {
+	comps, err := splitPath(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	nn.charge(p, len(comps))
+	nn.Ops++
+	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+		files, dirs, size = 0, 0, 0
+		chain, cerr := nn.resolveChain(tx, comps)
+		if cerr != nil {
+			return cerr
+		}
+		return nn.summarize(tx, chain[len(chain)-1], &files, &dirs, &size)
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return files, dirs, size, nil
+}
+
+func (nn *NameNode) summarize(tx *ndb.Txn, ino *Inode, files, dirs *int, size *int64) error {
+	if !ino.Dir {
+		*files++
+		*size += ino.Size
+		return nil
+	}
+	*dirs++
+	var kvs []ndb.KV
+	var err error
+	if ino.ID == RootID {
+		kvs, err = tx.ScanTablePrefix(nn.ns.inodes, inodeKey(ino.ID, ""))
+	} else {
+		kvs, err = tx.ScanPrefix(nn.ns.inodes, partKey(ino.ID), inodeKey(ino.ID, ""))
+	}
+	if err != nil {
+		return err
+	}
+	for _, kv := range kvs {
+		child, ok := kv.Val.(*Inode)
+		if !ok {
+			continue
+		}
+		if err := nn.summarize(tx, child, files, dirs, size); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,373 @@
+// Package namenode implements the HopsFS-CL metadata serving layer (paper
+// §II-A2 and §IV-B): stateless metadata servers (NNs) that execute file
+// system operations as transactions on the NDB metadata storage layer,
+// using hierarchical (implicit) locking — row locks on the operated-on
+// inodes, read-committed for the rest. It also implements the database-
+// backed leader election of [28], extended to report each server's
+// locationDomainId every round, and the AZ-aware client selection policy
+// of §IV-B3.
+package namenode
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"hopsfscl/internal/blocks"
+	"hopsfscl/internal/ndb"
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/simnet"
+)
+
+// File system errors.
+var (
+	// ErrNotFound means a path component does not exist.
+	ErrNotFound = errors.New("namenode: no such file or directory")
+	// ErrExists means the target already exists.
+	ErrExists = errors.New("namenode: file exists")
+	// ErrNotDir means a path component is not a directory.
+	ErrNotDir = errors.New("namenode: not a directory")
+	// ErrIsDir means the operation needs a file but found a directory.
+	ErrIsDir = errors.New("namenode: is a directory")
+	// ErrNotEmpty means a non-recursive delete hit a non-empty directory.
+	ErrNotEmpty = errors.New("namenode: directory not empty")
+	// ErrInvalidPath means the path is malformed.
+	ErrInvalidPath = errors.New("namenode: invalid path")
+	// ErrRetriesExhausted means the transaction kept aborting (overload,
+	// failover in progress) beyond the retry budget.
+	ErrRetriesExhausted = errors.New("namenode: transaction retries exhausted")
+	// ErrNoNameNodes means no metadata server is reachable.
+	ErrNoNameNodes = errors.New("namenode: no metadata servers available")
+	// ErrCycle means a rename would move a directory under itself.
+	ErrCycle = errors.New("namenode: rename would create a cycle")
+)
+
+// RootID is the inode id of "/".
+const RootID uint64 = 1
+
+// Config parameterizes the metadata serving layer.
+type Config struct {
+	// ReadBackup enables the Read Backup option on all metadata tables.
+	// HopsFS-CL always sets it (§IV-A5); vanilla HopsFS does not.
+	ReadBackup bool
+	// SmallFileThreshold is the inline-in-NDB cutoff (§II-A3; 128 KB).
+	SmallFileThreshold int64
+	// NNCores is the CPU parallelism of each metadata server (paper VMs:
+	// 32 vCPUs).
+	NNCores int
+	// ElectionRound is the leader-election heartbeat period ([28]; 2 s).
+	ElectionRound time.Duration
+	// RetryMax bounds transaction retries per operation.
+	RetryMax int
+	// RetryBackoff is the base backoff between retries (exponential with
+	// jitter) — the paper's backpressure mechanism.
+	RetryBackoff time.Duration
+	// Costs are the NN CPU service demands.
+	Costs Costs
+}
+
+// Costs model the metadata server's CPU work per operation.
+type Costs struct {
+	// OpBase is charged for any operation (RPC handling, validation).
+	OpBase time.Duration
+	// PerComponent is charged per resolved path component.
+	PerComponent time.Duration
+	// PerListEntry is charged per directory entry returned.
+	PerListEntry time.Duration
+}
+
+// DefaultConfig returns the paper-aligned defaults.
+func DefaultConfig() Config {
+	return Config{
+		ReadBackup:         true,
+		SmallFileThreshold: 128 << 10,
+		NNCores:            32,
+		ElectionRound:      2 * time.Second,
+		RetryMax:           8,
+		RetryBackoff:       2 * time.Millisecond,
+		Costs: Costs{
+			OpBase:       25 * time.Microsecond,
+			PerComponent: 4 * time.Microsecond,
+			PerListEntry: 600 * time.Nanosecond,
+		},
+	}
+}
+
+// Inode is the stored metadata of a file or directory. Values stored in
+// NDB are immutable; mutate by storing a modified copy.
+type Inode struct {
+	ID     uint64
+	Parent uint64
+	Name   string
+	Dir    bool
+	Size   int64
+	Perm   uint16
+	Owner  string
+	Mtime  time.Duration
+	// InlineSize is the byte count stored inline in NDB for small files.
+	InlineSize int64
+	// Blocks lists the block layer blocks of large files.
+	Blocks []blocks.BlockID
+}
+
+// Namesystem is the shared file system state: the NDB tables, the block
+// layer, and the set of metadata servers.
+type Namesystem struct {
+	db       *ndb.Cluster
+	blockMgr *blocks.Manager
+	cfg      Config
+
+	inodes   *ndb.Table
+	election *ndb.Table
+
+	nns    []*NameNode
+	idSeq  uint64
+	bgStop bool
+}
+
+// NewNamesystem creates the metadata schema on db and seeds the root
+// directory. blockMgr may be nil if only metadata operations are exercised
+// (the paper's benchmarks use empty files for exactly this reason).
+func NewNamesystem(db *ndb.Cluster, blockMgr *blocks.Manager, cfg Config) *Namesystem {
+	ns := &Namesystem{
+		db:       db,
+		blockMgr: blockMgr,
+		cfg:      cfg,
+		idSeq:    RootID,
+	}
+	// Inodes are partitioned by parent inode id (application defined
+	// partitioning): all children of a directory live in one partition, so
+	// listings are partition-pruned scans (§II-A1).
+	ns.inodes = db.CreateTable("inodes", 256, ndb.TableOptions{ReadBackup: cfg.ReadBackup})
+	// The election table is tiny and read every round by every NN: fully
+	// replicated for AZ-local reads.
+	ns.election = db.CreateTable("election", 64, ndb.TableOptions{
+		ReadBackup:      cfg.ReadBackup,
+		FullyReplicated: true,
+	})
+	ns.seedRoot()
+	if blockMgr != nil {
+		blockMgr.SetLeaderCheck(func() bool { return ns.Leader() != nil })
+	}
+	return ns
+}
+
+// seedRoot installs "/" directly in storage (bootstrap, before any traffic).
+func (ns *Namesystem) seedRoot() {
+	root := &Inode{ID: RootID, Parent: 0, Name: "", Dir: true, Perm: 0o755, Owner: "hdfs"}
+	ndb.StoreDirect(ns.inodes, partKey(0), inodeKey(0, ""), root)
+}
+
+// Seed installs directories and files directly into NDB storage, bypassing
+// transactions — used to pre-build benchmark namespaces without warm-up
+// traffic. Directories must be listed parents-first; all paths absolute.
+func (ns *Namesystem) Seed(dirs, files []string) error {
+	ids := map[string]uint64{"": RootID}
+	place := func(path string, dir bool) error {
+		comps, err := splitPath(path)
+		if err != nil {
+			return err
+		}
+		if len(comps) == 0 {
+			return nil
+		}
+		parentPath := strings.Join(comps[:len(comps)-1], "/")
+		parent, ok := ids[parentPath]
+		if !ok {
+			return fmt.Errorf("namenode: seed %q before its parent", path)
+		}
+		name := comps[len(comps)-1]
+		ino := &Inode{
+			ID:     ns.nextID(),
+			Parent: parent,
+			Name:   name,
+			Dir:    dir,
+			Perm:   0o755,
+			Owner:  "hdfs",
+		}
+		ndb.StoreDirect(ns.inodes, partKeyOf(parent, name), inodeKey(parent, name), ino)
+		if dir {
+			ids[strings.Join(comps, "/")] = ino.ID
+		}
+		return nil
+	}
+	for _, d := range dirs {
+		if err := place(d, true); err != nil {
+			return err
+		}
+	}
+	for _, f := range files {
+		if err := place(f, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DB returns the metadata storage cluster.
+func (ns *Namesystem) DB() *ndb.Cluster { return ns.db }
+
+// BlockManager returns the block layer (may be nil).
+func (ns *Namesystem) BlockManager() *blocks.Manager { return ns.blockMgr }
+
+// Config returns the namesystem configuration.
+func (ns *Namesystem) Config() Config { return ns.cfg }
+
+// InodeTable exposes the inode table for experiments (Figure 14 reads the
+// per-partition read counters).
+func (ns *Namesystem) InodeTable() *ndb.Table { return ns.inodes }
+
+// NameNodes returns all registered metadata servers.
+func (ns *Namesystem) NameNodes() []*NameNode { return ns.nns }
+
+// nextID allocates an inode id.
+func (ns *Namesystem) nextID() uint64 {
+	ns.idSeq++
+	return ns.idSeq
+}
+
+// NameNode is one stateless metadata server.
+type NameNode struct {
+	ns     *Namesystem
+	Node   *simnet.Node
+	ID     int
+	Domain simnet.ZoneID
+
+	cpu *sim.Resource
+
+	// cache is the inode hint cache: path -> inode id, used to compute the
+	// partition-key hint that makes transactions distribution aware.
+	cache map[string]uint64
+
+	// Election state observed by this NN at its last round.
+	leaderID  int
+	active    []ActiveNN
+	stopped   bool
+	lastRound time.Duration
+
+	// Ops counts operations served (per-NN throughput, Figure 6).
+	Ops int64
+}
+
+// ActiveNN is one entry of the leader's active-NN list, carrying the
+// locationDomainId reported during election (§IV-B3).
+type ActiveNN struct {
+	ID     int
+	Domain simnet.ZoneID
+}
+
+// AddNameNode registers a metadata server in the given zone. domain is its
+// locationDomainId (ZoneUnset for non-AZ-aware deployments). The NN's
+// leader-election process starts immediately.
+func (ns *Namesystem) AddNameNode(zone simnet.ZoneID, host simnet.HostID, domain simnet.ZoneID) *NameNode {
+	id := len(ns.nns) + 1
+	nn := &NameNode{
+		ns:       ns,
+		Node:     ns.db.Net().NewNode(fmt.Sprintf("nn-%d", id), zone, host),
+		ID:       id,
+		Domain:   domain,
+		cpu:      sim.NewResource(ns.db.Env(), fmt.Sprintf("nn-%d/cpu", id), ns.cfg.NNCores),
+		cache:    make(map[string]uint64),
+		leaderID: 1,
+	}
+	ns.nns = append(ns.nns, nn)
+	ns.db.Env().Spawn(nn.Node.Name()+"/election", func(p *sim.Proc) { nn.electionLoop(p) })
+	return nn
+}
+
+// CPU exposes the NN's processor pool for utilization accounting.
+func (nn *NameNode) CPU() *sim.Resource { return nn.cpu }
+
+// Alive reports whether the server is up.
+func (nn *NameNode) Alive() bool { return nn.Node.Alive() && !nn.stopped }
+
+// Fail takes the metadata server down.
+func (nn *NameNode) Fail() { nn.stopped = true; nn.Node.Fail() }
+
+// Recover restarts a failed metadata server: it is stateless, so recovery
+// is simply rejoining the network and resuming leader-election rounds.
+func (nn *NameNode) Recover() {
+	if nn.Alive() {
+		return
+	}
+	nn.stopped = false
+	nn.Node.Recover()
+	nn.cache = make(map[string]uint64)
+	nn.ns.db.Env().Spawn(nn.Node.Name()+"/election", func(p *sim.Proc) { nn.electionLoop(p) })
+}
+
+// Leader returns the current leader NN (the namesystem-wide view: the
+// lowest-id alive NN whose election row is fresh), or nil.
+func (ns *Namesystem) Leader() *NameNode {
+	for _, nn := range ns.nns {
+		if nn.Alive() {
+			return nn
+		}
+	}
+	return nil
+}
+
+// partKey is the partition key of a directory's children.
+func partKey(parent uint64) string { return strconv.FormatUint(parent, 10) }
+
+// partKeyOf is the partition key of one inode row. Children of "/" are
+// partitioned individually by name rather than by parent id: every
+// operation resolves a top-level directory, and hashing them all to the
+// root's partition would turn that partition's primary into a cluster-wide
+// hotspot. HopsFS special-cases the root's immediate children the same way
+// ([23]: the root's children are distributed over all partitions).
+func partKeyOf(parent uint64, name string) string {
+	if parent == RootID {
+		return "c:" + name
+	}
+	return partKey(parent)
+}
+
+// inodeKey is the row key of an inode under its parent.
+func inodeKey(parent uint64, name string) string {
+	return strconv.FormatUint(parent, 10) + "/" + name
+}
+
+// charge bills NN CPU for an operation over depth path components (fluid
+// deferred service on the server's core pool).
+func (nn *NameNode) charge(p *sim.Proc, depth int) {
+	c := nn.ns.cfg.Costs
+	nn.cpu.UseDeferred(p, c.OpBase+time.Duration(depth)*c.PerComponent)
+}
+
+// retriable reports whether a transaction error warrants a retry: lock
+// timeouts (deadlock/overload backpressure) and node failovers.
+func retriable(err error) bool {
+	return errors.Is(err, ndb.ErrLockTimeout) || errors.Is(err, ndb.ErrNodeUnavailable)
+}
+
+// runTxn executes fn in a transaction with the given partition-key hint,
+// retrying aborted transactions with exponential backoff — the paper's
+// retry mechanism providing backpressure to NDB (§II-B2).
+func (nn *NameNode) runTxn(p *sim.Proc, hint string, fn func(tx *ndb.Txn) error) error {
+	backoff := nn.ns.cfg.RetryBackoff
+	for attempt := 0; attempt <= nn.ns.cfg.RetryMax; attempt++ {
+		tx, err := nn.ns.db.Begin(p, nn.Node, nn.Domain, nn.ns.inodes, hint)
+		if err == nil {
+			err = fn(tx)
+			if err == nil {
+				if err = tx.Commit(); err == nil {
+					return nil
+				}
+			} else {
+				tx.Abort()
+			}
+		}
+		if !retriable(err) {
+			return err
+		}
+		jitter := time.Duration(p.Rand().Int63n(int64(backoff)))
+		p.Sleep(backoff + jitter)
+		if backoff < 64*nn.ns.cfg.RetryBackoff {
+			backoff *= 2
+		}
+	}
+	return ErrRetriesExhausted
+}

@@ -1,0 +1,319 @@
+package ndb
+
+import (
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/simnet"
+)
+
+// startBackground launches the cluster's housekeeping processes: a message
+// server and a heartbeat prober per datanode, and the global checkpoint
+// writer. They run until StopBackground is called (or the environment is
+// closed); cluster simulations are normally driven with Env.RunFor.
+func (c *Cluster) startBackground() {
+	c.gcpEpoch = 1
+	c.env.Spawn("ndb/gcp-ticker", func(p *sim.Proc) { c.gcpLoop(p) })
+	for _, dn := range c.datanodes {
+		dn := dn
+		c.env.Spawn(dn.Node.Name()+"/server", func(p *sim.Proc) { dn.serve(p) })
+		c.env.Spawn(dn.Node.Name()+"/hb", func(p *sim.Proc) { dn.heartbeatLoop(p) })
+		c.env.Spawn(dn.Node.Name()+"/gcp", func(p *sim.Proc) { dn.checkpointLoop(p) })
+	}
+}
+
+// StopBackground asks all housekeeping processes to exit at their next
+// tick, letting Env.Run quiesce.
+func (c *Cluster) StopBackground() { c.bgStop = true }
+
+// serve drains the datanode's inbox: Complete messages from commit chains
+// (charged to RECV and dropped) and shutdown orders from the arbitrator.
+func (dn *DataNode) serve(p *sim.Proc) {
+	for !dn.c.bgStop {
+		msg, ok := dn.Node.Inbox.RecvTimeout(p, dn.c.cfg.HeartbeatInterval)
+		if !ok {
+			continue
+		}
+		switch msg.Payload {
+		case "complete":
+			dn.recv(p)
+		case "shutdown":
+			dn.shutdownSelf()
+			return
+		}
+	}
+}
+
+// heartbeatLoop probes the next alive datanode in the ring (§II-B2's node
+// failure and heartbeat protocols). Two consecutive missed probes declare
+// the peer failed and trigger arbitration.
+func (dn *DataNode) heartbeatLoop(p *sim.Proc) {
+	misses := 0
+	for !dn.c.bgStop {
+		p.Sleep(dn.c.cfg.HeartbeatInterval)
+		if !dn.Alive() {
+			return
+		}
+		peer := dn.c.ringSuccessor(dn)
+		if peer == nil {
+			continue
+		}
+		ok := dn.c.net.Travel(p, dn.Node, peer.Node, ackSize, dn.c.cfg.RPCTimeout) &&
+			dn.c.net.Travel(p, peer.Node, dn.Node, ackSize, dn.c.cfg.RPCTimeout)
+		if !dn.Alive() {
+			return
+		}
+		if ok {
+			misses = 0
+			continue
+		}
+		misses++
+		if misses < 2 {
+			continue
+		}
+		misses = 0
+		dn.c.handleSuspectedFailure(p, dn, peer)
+	}
+}
+
+// ringSuccessor returns the next datanode by index that is believed alive.
+func (c *Cluster) ringSuccessor(dn *DataNode) *DataNode {
+	n := len(c.datanodes)
+	for i := 1; i < n; i++ {
+		peer := c.datanodes[(dn.Index+i)%n]
+		if peer.declaredDead {
+			continue
+		}
+		return peer
+	}
+	return nil
+}
+
+// handleSuspectedFailure runs the arbitration protocol of §IV-A2: the
+// detector asks the elected arbitrator whether its side of the cluster may
+// survive. The arbitrator accepts the first claimant of an epoch, orders
+// unreachable-from-claimant nodes to shut down, and the surviving side
+// promotes backup partitions for every node now dead.
+func (c *Cluster) handleSuspectedFailure(p *sim.Proc, detector, suspect *DataNode) {
+	if suspect.declaredDead || !detector.Alive() {
+		return
+	}
+	arb := c.arbitrator()
+	if !c.splitBrainPossible(detector) {
+		// The failed set could not form a viable cluster on its own (it
+		// lacks a complete node-group coverage), so no split brain is
+		// possible and the survivors may continue without arbitration.
+		arb = nil
+	}
+	if arb != nil {
+		// Round trip to the arbitrator; failure to reach it means the
+		// detector is on the losing side of a partition and must shut
+		// down gracefully.
+		if !c.net.Travel(p, detector.Node, arb.Node, reqSize, c.cfg.RPCTimeout) {
+			detector.shutdownSelf()
+			return
+		}
+		granted := c.arbitrate(detector)
+		if !c.net.Travel(p, arb.Node, detector.Node, ackSize, c.cfg.RPCTimeout) {
+			detector.shutdownSelf()
+			return
+		}
+		if !granted {
+			detector.shutdownSelf()
+			return
+		}
+	}
+	if suspect.Alive() && !c.reachable(detector, suspect) {
+		// Partitioned, not dead: the arbitrator has already ordered the
+		// other side down; nothing more for the detector to do here.
+		return
+	}
+	c.declareDead(suspect)
+}
+
+// splitBrainPossible applies NDB's viability rule: arbitration is required
+// only when the set of nodes the detector cannot reach (but which may still
+// be running) covers at least one member of every node group — i.e. the
+// other side could serve all data and form a second cluster.
+func (c *Cluster) splitBrainPossible(detector *DataNode) bool {
+	for _, group := range c.groups {
+		covered := false
+		for _, dn := range group {
+			if dn.declaredDead || dn.shutdown {
+				continue
+			}
+			if dn.Node.Alive() && !c.reachable(detector, dn) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// arbitrate runs at the arbitrator: the first claimant of an epoch wins;
+// every alive datanode the claimant cannot reach is ordered to shut down.
+func (c *Cluster) arbitrate(claimant *DataNode) bool {
+	if claimant.shutdown {
+		return false
+	}
+	winner, decided := c.arbGranted[c.arbEpoch]
+	if decided {
+		// A second claimant in the same epoch wins only if it is on the
+		// winner's side.
+		return c.reachable(claimant, c.datanodes[winner])
+	}
+	c.arbGranted[c.arbEpoch] = claimant.Index
+	arb := c.arbitrator()
+	for _, dn := range c.datanodes {
+		if dn == claimant || !dn.Alive() {
+			continue
+		}
+		if !c.reachable(claimant, dn) {
+			c.net.Send(arb.Node, dn.Node, ackSize, "shutdown")
+		}
+	}
+	return true
+}
+
+// NextArbitrationEpoch starts a fresh arbitration window. Failure-injection
+// harnesses call it between distinct failure scenarios.
+func (c *Cluster) NextArbitrationEpoch() { c.arbEpoch++ }
+
+// reachable reports whether a's zone can talk to b's zone.
+func (c *Cluster) reachable(a, b *DataNode) bool {
+	return !c.net.Partitioned(a.Node.Zone(), b.Node.Zone())
+}
+
+// arbitrator returns the elected management node: the first one alive
+// (§IV-A2 — if M1 fails, another management node is elected).
+func (c *Cluster) arbitrator() *MgmtNode {
+	for _, m := range c.mgmt {
+		if m.Node.Alive() {
+			return m
+		}
+	}
+	return nil
+}
+
+// declareDead marks a datanode dead cluster-wide and promotes backup
+// partitions on the surviving members of its node group (§IV-A2).
+func (c *Cluster) declareDead(suspect *DataNode) {
+	if suspect.declaredDead {
+		return
+	}
+	suspect.declaredDead = true
+	for _, t := range c.tables {
+		for _, part := range t.partitions {
+			part.promoteFrom(suspect)
+		}
+	}
+}
+
+// DeclareDeadForTest exposes failure declaration to integration tests and
+// harnesses that kill nodes directly.
+func (c *Cluster) DeclareDeadForTest(dn *DataNode) { c.declareDead(dn) }
+
+// shutdownSelf takes the datanode out of the cluster gracefully.
+func (dn *DataNode) shutdownSelf() {
+	if dn.shutdown {
+		return
+	}
+	dn.shutdown = true
+	dn.Node.Fail()
+	dn.c.declareDead(dn)
+}
+
+// Shutdown reports whether the node shut itself down after losing
+// arbitration.
+func (dn *DataNode) Shutdown() bool { return dn.shutdown }
+
+// checkpointLoop implements the global checkpoint protocol: every
+// GCPInterval the REDO log accumulated since the last checkpoint is flushed
+// to the node's disk (the only disk NDB uses in steady state, §V-D1).
+func (dn *DataNode) checkpointLoop(p *sim.Proc) {
+	for !dn.c.bgStop {
+		p.Sleep(dn.c.cfg.GCPInterval)
+		if !dn.Alive() {
+			return
+		}
+		if dn.redoPending == 0 {
+			continue
+		}
+		dn.use(p, IO, dn.c.cfg.Costs.LDMCommit)
+		dn.Node.AsyncDiskWrite(int(dn.redoPending))
+		dn.redoPending = 0
+	}
+}
+
+// Rejoin brings a failed or shut-down datanode back into the cluster: the
+// node recovers, copies the current data of its node group's partitions
+// from the surviving primaries (a full node restart recovery, charged as
+// network transfer), restarts its housekeeping processes, and resumes as a
+// backup replica. The caller's process is blocked for the duration of the
+// resync.
+func (c *Cluster) Rejoin(p *sim.Proc, dn *DataNode) {
+	if dn.Alive() && !dn.declaredDead {
+		return
+	}
+	dn.Node.Recover()
+	dn.shutdown = false
+	// Copy every partition of the node's group from its current primary.
+	for _, t := range c.tables {
+		for _, part := range t.partitions {
+			if part.group != dn.Group && !t.opts.FullyReplicated {
+				continue
+			}
+			reps := part.replicas()
+			if len(reps) == 0 || reps[0] == dn {
+				continue
+			}
+			var rows int
+			for _, bucket := range part.rows {
+				rows += len(bucket)
+			}
+			if rows == 0 {
+				continue
+			}
+			size := rows * t.rowSize
+			if c.net.Travel(p, reps[0].Node, dn.Node, size, 5*c.cfg.RPCTimeout) {
+				dn.redoPending += int64(size)
+			}
+		}
+	}
+	dn.declaredDead = false
+	c.env.Spawn(dn.Node.Name()+"/server", func(sp *sim.Proc) { dn.serve(sp) })
+	c.env.Spawn(dn.Node.Name()+"/hb", func(sp *sim.Proc) { dn.heartbeatLoop(sp) })
+	c.env.Spawn(dn.Node.Name()+"/gcp", func(sp *sim.Proc) { dn.checkpointLoop(sp) })
+}
+
+// RecoverZone rejoins every datanode and management node of a zone after
+// an AZ failure or partition has been repaired.
+func (c *Cluster) RecoverZone(p *sim.Proc, z simnet.ZoneID) {
+	for _, m := range c.mgmt {
+		if m.Node.Zone() == z {
+			m.Node.Recover()
+		}
+	}
+	for _, dn := range c.datanodes {
+		if dn.Node.Zone() == z {
+			c.Rejoin(p, dn)
+		}
+	}
+}
+
+// FailZone fails every datanode and management node in the given zone —
+// the paper's AZ-failure scenario (§V-F).
+func (c *Cluster) FailZone(z simnet.ZoneID) {
+	for _, dn := range c.datanodes {
+		if dn.Node.Zone() == z {
+			dn.Node.Fail()
+		}
+	}
+	for _, m := range c.mgmt {
+		if m.Node.Zone() == z {
+			m.Node.Fail()
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package ndb
+
+import (
+	"hopsfscl/internal/sim"
+)
+
+// Global checkpoint (GCP) durability semantics (§II-B2): NDB transactions
+// commit in memory; durability is provided by the global checkpoint
+// protocol, which periodically fences an epoch across all node groups and
+// flushes its REDO to disk. Committed transactions in epochs newer than
+// the last completed global checkpoint survive any partial failure (the
+// surviving replicas hold them), but a failure of the WHOLE cluster loses
+// them: recovery restores the last durable epoch.
+//
+// The epoch counter lives on the cluster; every committed write stamps its
+// row with the current epoch. The per-node checkpoint loops flush REDO to
+// disk; the cluster-level ticker advances the durable horizon.
+
+// gcpLoop advances the global checkpoint epoch every GCPInterval: epoch n
+// becomes durable once every alive node has flushed (modelled by the
+// per-node checkpoint loops sharing the same period).
+func (c *Cluster) gcpLoop(p *sim.Proc) {
+	for !c.bgStop {
+		p.Sleep(c.cfg.GCPInterval)
+		c.gcpEpoch++
+		c.durableEpoch = c.gcpEpoch - 1
+	}
+}
+
+// CurrentEpoch returns the in-progress global checkpoint epoch.
+func (c *Cluster) CurrentEpoch() uint64 { return c.gcpEpoch }
+
+// DurableEpoch returns the newest epoch guaranteed recoverable after a
+// whole-cluster failure.
+func (c *Cluster) DurableEpoch() uint64 { return c.durableEpoch }
+
+// CrashRestartCluster simulates the §II-B2 whole-cluster failure and
+// system recovery from the global checkpoints: every datanode restarts,
+// and all committed writes from epochs newer than the last durable global
+// checkpoint are rolled back (they never reached disk anywhere). The
+// caller's process is charged the recovery REDO replay from each node's
+// disk. Lock state is cleared: no transactions survive a cluster crash.
+func (c *Cluster) CrashRestartCluster(p *sim.Proc) {
+	durable := c.durableEpoch
+	for _, t := range c.tables {
+		for _, part := range t.partitions {
+			for pk, bucket := range part.rows {
+				for key, r := range bucket {
+					r.lock = rowLock{}
+					if r.epoch > durable {
+						// Not yet durable: lost with the cluster.
+						delete(bucket, key)
+					}
+				}
+				if len(bucket) == 0 {
+					delete(part.rows, pk)
+				}
+			}
+		}
+	}
+	// Restart every node; replay charges the REDO read from local disk.
+	for _, dn := range c.datanodes {
+		wasDown := !dn.Alive()
+		dn.Node.Recover()
+		dn.shutdown = false
+		dn.declaredDead = false
+		dn.redoPending = 0
+		var replay int
+		for _, t := range c.tables {
+			for _, part := range t.partitions {
+				if part.group != dn.Group && !t.opts.FullyReplicated {
+					continue
+				}
+				for _, bucket := range part.rows {
+					replay += len(bucket) * t.rowSize
+				}
+			}
+		}
+		if replay > 0 {
+			dn.Node.DiskRead(p, replay)
+		}
+		if wasDown {
+			c.env.Spawn(dn.Node.Name()+"/server", func(sp *sim.Proc) { dn.serve(sp) })
+			c.env.Spawn(dn.Node.Name()+"/hb", func(sp *sim.Proc) { dn.heartbeatLoop(sp) })
+			c.env.Spawn(dn.Node.Name()+"/gcp", func(sp *sim.Proc) { dn.checkpointLoop(sp) })
+		}
+	}
+	c.gcpEpoch = durable + 1
+}

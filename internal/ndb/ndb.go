@@ -1,0 +1,283 @@
+// Package ndb implements the metadata storage layer of HopsFS-CL: an
+// in-memory, shared-nothing, transactional storage engine modelled on NDB,
+// the MySQL Cluster storage engine (paper §II-B), extended with the AZ
+// awareness features of §IV-A:
+//
+//   - LocationDomainId pinning database nodes to availability zones,
+//   - the Read Backup table option (client Ack delayed until all backup
+//     replicas completed, enabling consistent read-committed reads from any
+//     replica),
+//   - the Fully Replicated table option (a replica on every datanode),
+//   - AZ-aware proximity ordering and transaction-coordinator selection.
+//
+// The engine stores real rows; transactions run the linear two-phase commit
+// protocol of §II-B2 hop by hop over the simulated network, consuming CPU
+// on per-node thread pools configured like the paper's Table II.
+package ndb
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/simnet"
+	"time"
+)
+
+// Errors returned by transactions. HopsFS uses these to drive its retry and
+// backpressure mechanism (§II-B2).
+var (
+	// ErrLockTimeout corresponds to TransactionDeadlockDetectionTimeout:
+	// the transaction waited too long for a row lock (deadlock, node
+	// failure, or overload) and was aborted.
+	ErrLockTimeout = errors.New("ndb: lock wait timeout")
+	// ErrNodeUnavailable means a datanode needed by the transaction did not
+	// respond before the RPC timeout.
+	ErrNodeUnavailable = errors.New("ndb: datanode unavailable")
+	// ErrAborted means the transaction was aborted and must not be reused.
+	ErrAborted = errors.New("ndb: transaction aborted")
+	// ErrNoNodes means no datanode is available to coordinate.
+	ErrNoNodes = errors.New("ndb: no datanodes available")
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// DataNodes is the number of NDB datanodes (paper: 12).
+	DataNodes int
+	// Replication is the number of replicas per partition (NoOfReplicas).
+	// The number of node groups is DataNodes/Replication.
+	Replication int
+	// PartitionsPerTable is the partition count for new tables.
+	PartitionsPerTable int
+	// LockTimeout aborts a transaction that waited this long for a lock
+	// (TransactionDeadlockDetectionTimeout).
+	LockTimeout time.Duration
+	// RPCTimeout bounds each internal message hop; a missing response means
+	// the target node is treated as unavailable.
+	RPCTimeout time.Duration
+	// HeartbeatInterval is the datanode failure-detection period.
+	HeartbeatInterval time.Duration
+	// GCPInterval is the global checkpoint period (REDO flush to disk).
+	GCPInterval time.Duration
+	// AZAware, when true, assigns each datanode a LocationDomainId equal to
+	// its physical zone, enabling all §IV-A locality behaviour. When false
+	// the cluster behaves like vanilla NDB deployed unaware (HopsFS
+	// baselines).
+	AZAware bool
+	// Costs hold the calibrated CPU service demands.
+	Costs Costs
+}
+
+// DefaultConfig returns the paper's deployment defaults.
+func DefaultConfig() Config {
+	return Config{
+		DataNodes:          12,
+		Replication:        2,
+		PartitionsPerTable: 24,
+		LockTimeout:        150 * time.Millisecond,
+		RPCTimeout:         75 * time.Millisecond,
+		HeartbeatInterval:  100 * time.Millisecond,
+		GCPInterval:        250 * time.Millisecond,
+		AZAware:            true,
+		Costs:              DefaultCosts(),
+	}
+}
+
+// Cluster is a running NDB cluster: datanodes organized into node groups,
+// management nodes for arbitration, and a set of tables.
+type Cluster struct {
+	env *sim.Env
+	net *simnet.Network
+	cfg Config
+
+	datanodes []*DataNode
+	mgmt      []*MgmtNode
+	groups    [][]*DataNode
+	tables    map[string]*Table
+
+	txnSeq     uint64
+	arbEpoch   int
+	arbGranted map[int]int // epoch -> index of datanode whose view won
+	bgStop     bool
+
+	// gcpEpoch is the in-progress global checkpoint epoch; writes stamp
+	// their rows with it. durableEpoch is the recovery horizon (§II-B2).
+	gcpEpoch     uint64
+	durableEpoch uint64
+
+	// Stats are cumulative cluster-wide counters.
+	Stats Stats
+}
+
+// Stats holds cluster-wide transaction counters.
+type Stats struct {
+	Begun     int64
+	Committed int64
+	Aborted   int64
+	Reads     int64
+	Writes    int64
+}
+
+// DataNode is one NDB datanode: a network endpoint plus the Table II thread
+// pools.
+type DataNode struct {
+	c     *Cluster
+	Node  *simnet.Node
+	Index int
+	Group int
+	// Domain is the LocationDomainId (§IV-A): the configured AZ, or
+	// simnet.ZoneUnset when the deployment is not AZ aware.
+	Domain simnet.ZoneID
+
+	threads      [threadTypes]*sim.Resource
+	declaredDead bool
+
+	// redoPending accumulates bytes to be flushed at the next global
+	// checkpoint.
+	redoPending int64
+
+	shutdown bool
+}
+
+// MgmtNode is an NDB management node; the elected one arbitrates network
+// partitions (§IV-A2).
+type MgmtNode struct {
+	c    *Cluster
+	Node *simnet.Node
+}
+
+// Placement locates one datanode: its zone and host.
+type Placement struct {
+	Zone simnet.ZoneID
+	Host simnet.HostID
+}
+
+// New builds a cluster with cfg. dataPlacement must have cfg.DataNodes
+// entries; node group membership follows the paper's deployments: node i
+// joins group i % numGroups, so consecutive placements in the same zone end
+// up in different groups and each group spans zones (Figures 3 and 4).
+// mgmtPlacement lists management nodes; the first reachable one arbitrates.
+func New(env *sim.Env, net *simnet.Network, cfg Config, dataPlacement, mgmtPlacement []Placement) (*Cluster, error) {
+	if cfg.DataNodes != len(dataPlacement) {
+		return nil, fmt.Errorf("ndb: %d placements for %d datanodes", len(dataPlacement), cfg.DataNodes)
+	}
+	if cfg.Replication <= 0 || cfg.DataNodes%cfg.Replication != 0 {
+		return nil, fmt.Errorf("ndb: datanodes %d not divisible by replication %d", cfg.DataNodes, cfg.Replication)
+	}
+	c := &Cluster{
+		env:        env,
+		net:        net,
+		cfg:        cfg,
+		tables:     make(map[string]*Table),
+		arbGranted: make(map[int]int),
+	}
+	numGroups := cfg.DataNodes / cfg.Replication
+	c.groups = make([][]*DataNode, numGroups)
+	for i, pl := range dataPlacement {
+		dn := &DataNode{
+			c:     c,
+			Node:  net.NewNode(fmt.Sprintf("ndb-%d", i+1), pl.Zone, pl.Host),
+			Index: i,
+			Group: i % numGroups,
+		}
+		if cfg.AZAware {
+			dn.Domain = pl.Zone
+		}
+		for t := range dn.threads {
+			dn.threads[t] = sim.NewResource(env, fmt.Sprintf("ndb-%d/%s", i+1, ThreadType(t)), threadCounts[t])
+		}
+		c.datanodes = append(c.datanodes, dn)
+		c.groups[dn.Group] = append(c.groups[dn.Group], dn)
+	}
+	for i, pl := range mgmtPlacement {
+		c.mgmt = append(c.mgmt, &MgmtNode{c: c, Node: net.NewNode(fmt.Sprintf("mgm-%d", i+1), pl.Zone, pl.Host)})
+	}
+	c.startBackground()
+	return c, nil
+}
+
+// Env returns the simulation environment.
+func (c *Cluster) Env() *sim.Env { return c.env }
+
+// Net returns the simulated network.
+func (c *Cluster) Net() *simnet.Network { return c.net }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// DataNodes returns the cluster's datanodes.
+func (c *Cluster) DataNodes() []*DataNode { return c.datanodes }
+
+// NodeGroups returns datanodes grouped into replication node groups.
+func (c *Cluster) NodeGroups() [][]*DataNode { return c.groups }
+
+// Alive reports whether the datanode is up and not shut down by
+// arbitration.
+func (dn *DataNode) Alive() bool { return dn.Node.Alive() && !dn.shutdown }
+
+// Threads exposes the node's thread pools for utilization accounting.
+func (dn *DataNode) Threads() [threadTypes]*sim.Resource { return dn.threads }
+
+// CreateTable registers a table. Every table in HopsFS-CL is created with
+// ReadBackup enabled (§IV-A5 end); baseline HopsFS deployments pass
+// opts.ReadBackup=false.
+func (c *Cluster) CreateTable(name string, rowSize int, opts TableOptions) *Table {
+	t := &Table{
+		c:       c,
+		name:    name,
+		rowSize: rowSize,
+		opts:    opts,
+	}
+	n := c.cfg.PartitionsPerTable
+	if opts.FullyReplicated {
+		// One logical partition set per node group; data on all nodes.
+		n = c.cfg.PartitionsPerTable
+	}
+	t.partitions = make([]*Partition, n)
+	numGroups := len(c.groups)
+	for i := range t.partitions {
+		g := i % numGroups
+		t.partitions[i] = &Partition{
+			table:   t,
+			index:   i,
+			group:   g,
+			primary: (i / numGroups) % len(c.groups[g]),
+			rows:    make(map[string]map[string]*row),
+			reads:   make([]int64, c.cfg.Replication),
+		}
+	}
+	c.tables[name] = t
+	return t
+}
+
+// Table returns a table by name, or nil.
+func (c *Cluster) Table(name string) *Table { return c.tables[name] }
+
+// SpreadPlacement returns datanode placements that realize the paper's
+// deployment diagrams (Figures 3 and 4): n datanodes spread evenly over the
+// given zones in contiguous runs, so that with numGroups = n/replication
+// and group membership i % numGroups, every node group spans all the zones.
+// Each datanode gets its own host, numbered from hostBase.
+func SpreadPlacement(n int, zones []simnet.ZoneID, hostBase int) []Placement {
+	per := n / len(zones)
+	if per == 0 {
+		per = 1
+	}
+	out := make([]Placement, n)
+	for i := range out {
+		zi := i / per
+		if zi >= len(zones) {
+			zi = len(zones) - 1
+		}
+		out[i] = Placement{Zone: zones[zi], Host: simnet.HostID(hostBase + i)}
+	}
+	return out
+}
+
+// hashKey maps a partition key to a partition index.
+func hashKey(key string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,825 @@
+package ndb
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/simnet"
+)
+
+// testCluster builds a 3-zone cluster with 6 datanodes (RF 3, two node
+// groups spanning all zones, as in Figure 4) and a management node per
+// zone. It returns a client node in zone 1.
+func testCluster(t *testing.T, azAware bool, rf int) (*sim.Env, *Cluster, *simnet.Node) {
+	t.Helper()
+	env := sim.New(11)
+	t.Cleanup(env.Close)
+	net := simnet.New(env, simnet.USWest1())
+	cfg := DefaultConfig()
+	cfg.DataNodes = 6
+	cfg.Replication = rf
+	cfg.PartitionsPerTable = 12
+	cfg.AZAware = azAware
+	zones := []simnet.ZoneID{1, 2, 3}
+	data := SpreadPlacement(cfg.DataNodes, zones, 100)
+	mgmt := []Placement{{Zone: 1, Host: 200}, {Zone: 2, Host: 201}, {Zone: 3, Host: 202}}
+	c, err := New(env, net, cfg, data, mgmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := net.NewNode("client", 1, 300)
+	return env, c, client
+}
+
+// inTxn runs fn inside a process, giving it a fresh transaction.
+func inTxn(t *testing.T, env *sim.Env, c *Cluster, client *simnet.Node, domain simnet.ZoneID,
+	table *Table, hint string, fn func(p *sim.Proc, tx *Txn) error) {
+	t.Helper()
+	var err error
+	env.Spawn("txn", func(p *sim.Proc) {
+		var tx *Txn
+		tx, err = c.Begin(p, client, domain, table, hint)
+		if err != nil {
+			return
+		}
+		err = fn(p, tx)
+	})
+	env.RunFor(5 * time.Second)
+	if err != nil {
+		t.Fatalf("txn failed: %v", err)
+	}
+}
+
+func TestCommitAndReadBack(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("inodes", 256, TableOptions{ReadBackup: true})
+	inTxn(t, env, c, client, 1, tbl, "p1", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(tbl, "p1", "k1", "v1"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	inTxn(t, env, c, client, 1, tbl, "p1", func(p *sim.Proc, tx *Txn) error {
+		v, ok, err := tx.ReadCommitted(tbl, "p1", "k1")
+		if err != nil {
+			return err
+		}
+		if !ok || v != "v1" {
+			t.Errorf("read (%v,%v), want (v1,true)", v, ok)
+		}
+		return tx.Commit()
+	})
+	if c.Stats.Committed != 2 {
+		t.Fatalf("committed = %d, want 2", c.Stats.Committed)
+	}
+}
+
+func TestDeleteRemovesRow(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("inodes", 256, TableOptions{ReadBackup: true})
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(tbl, "p", "k", "v"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Delete(tbl, "p", "k"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		_, ok, err := tx.ReadCommitted(tbl, "p", "k")
+		if err != nil {
+			return err
+		}
+		if ok {
+			t.Error("row still visible after delete")
+		}
+		return tx.Commit()
+	})
+}
+
+func TestUncommittedWriteInvisible(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("inodes", 256, TableOptions{ReadBackup: true})
+	var sawBeforeCommit bool
+	env.Spawn("writer", func(p *sim.Proc) {
+		tx, err := c.Begin(p, client, 1, tbl, "p")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := tx.Insert(tbl, "p", "k", "v"); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(50 * time.Millisecond) // hold the write uncommitted
+		if err := tx.Commit(); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Spawn("reader", func(p *sim.Proc) {
+		p.Sleep(20 * time.Millisecond)
+		tx, err := c.Begin(p, client, 1, tbl, "p")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, ok, err := tx.ReadCommitted(tbl, "p", "k")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sawBeforeCommit = ok
+		tx.Abort()
+	})
+	env.RunFor(time.Second)
+	if sawBeforeCommit {
+		t.Fatal("read-committed saw an uncommitted write")
+	}
+}
+
+func TestReadsGoToPrimaryWithoutReadBackup(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("plain", 128, TableOptions{})
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(tbl, "p", "k", "v"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	// Read from clients in all three zones: every read must hit slot 0.
+	for z := simnet.ZoneID(1); z <= 3; z++ {
+		cl := c.net.NewNode("cl", z, 400+simnet.HostID(z))
+		inTxn(t, env, c, cl, z, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+			_, _, err := tx.ReadCommitted(tbl, "p", "k")
+			if err != nil {
+				return err
+			}
+			return tx.Commit()
+		})
+	}
+	part := tbl.partitionFor("p")
+	counts := part.ReadCounts()
+	if counts[0] != 3 || counts[1] != 0 || counts[2] != 0 {
+		t.Fatalf("read counts = %v, want [3 0 0]", counts)
+	}
+}
+
+func TestReadBackupServesAZLocalReplica(t *testing.T) {
+	env, c, _ := testCluster(t, true, 3)
+	tbl := c.CreateTable("rb", 128, TableOptions{ReadBackup: true})
+	seed := c.net.NewNode("seed", 1, 399)
+	inTxn(t, env, c, seed, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(tbl, "p", "k", "v"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	// A client per zone: with RF 3 each zone holds a replica, so the three
+	// reads must land on three different replica slots.
+	for z := simnet.ZoneID(1); z <= 3; z++ {
+		cl := c.net.NewNode("cl", z, 400+simnet.HostID(z))
+		inTxn(t, env, c, cl, z, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+			_, _, err := tx.ReadCommitted(tbl, "p", "k")
+			if err != nil {
+				return err
+			}
+			return tx.Commit()
+		})
+	}
+	counts := tbl.partitionFor("p").ReadCounts()
+	for slot, n := range counts {
+		if n != 1 {
+			t.Fatalf("read counts = %v, want one read per replica slot (slot %d)", counts, slot)
+		}
+	}
+}
+
+func TestFullyReplicatedWritesReachAllGroupsAndReadsAreTCLocal(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("fr", 64, TableOptions{ReadBackup: true, FullyReplicated: true})
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(tbl, "p", "k", "v"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	// The commit chain must have touched at least one node in every group:
+	// check REDO bytes accumulated (pending or already checkpointed to
+	// disk) on some member of each group.
+	for g, group := range c.NodeGroups() {
+		var redo int64
+		for _, dn := range group {
+			_, w := dn.Node.DiskBytes()
+			redo += dn.redoPending + w
+		}
+		if redo == 0 {
+			t.Fatalf("group %d saw no redo from fully replicated write", g)
+		}
+	}
+	// Reads are served by the TC itself: no extra cross-node read traffic.
+	// Stop heartbeats first so only the read's traffic is measured.
+	c.StopBackground()
+	env.RunFor(time.Second)
+	before := c.net.CrossZoneBytes()
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		v, ok, err := tx.ReadCommitted(tbl, "p", "k")
+		if err != nil {
+			return err
+		}
+		if !ok || v != "v" {
+			t.Errorf("read (%v,%v)", v, ok)
+		}
+		return tx.Commit()
+	})
+	if got := c.net.CrossZoneBytes(); got != before {
+		t.Fatalf("fully replicated read crossed zones: %d extra bytes", got-before)
+	}
+}
+
+func TestExclusiveLockSerializesWriters(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("t", 64, TableOptions{ReadBackup: true})
+	var order []string
+	writer := func(name string, delay time.Duration) {
+		env.Spawn(name, func(p *sim.Proc) {
+			p.Sleep(delay)
+			tx, err := c.Begin(p, client, 1, tbl, "p")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := tx.Insert(tbl, "p", "k", name); err != nil {
+				t.Error(err)
+				return
+			}
+			if name == "first" {
+				p.Sleep(30 * time.Millisecond) // hold the lock
+			}
+			if err := tx.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+			order = append(order, name)
+		})
+	}
+	writer("first", 0)
+	writer("second", 5*time.Millisecond)
+	env.RunFor(time.Second)
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("order = %v, want [first second]", order)
+	}
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		v, _, err := tx.ReadCommitted(tbl, "p", "k")
+		if err != nil {
+			return err
+		}
+		if v != "second" {
+			t.Errorf("final value %v, want second", v)
+		}
+		return tx.Commit()
+	})
+}
+
+func TestLockTimeoutAbortsWaiter(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("t", 64, TableOptions{ReadBackup: true})
+	var waiterErr error
+	env.Spawn("holder", func(p *sim.Proc) {
+		tx, err := c.Begin(p, client, 1, tbl, "p")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := tx.Insert(tbl, "p", "k", "h"); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(500 * time.Millisecond) // far beyond LockTimeout
+		if err := tx.Commit(); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Spawn("waiter", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		tx, err := c.Begin(p, client, 1, tbl, "p")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		waiterErr = tx.Insert(tbl, "p", "k", "w")
+	})
+	env.RunFor(2 * time.Second)
+	if !errors.Is(waiterErr, ErrLockTimeout) {
+		t.Fatalf("waiter error = %v, want ErrLockTimeout", waiterErr)
+	}
+	if c.Stats.Aborted == 0 {
+		t.Fatal("no aborts recorded")
+	}
+}
+
+func TestSharedLocksCoexistAndBlockExclusive(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("t", 64, TableOptions{ReadBackup: true})
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(tbl, "p", "k", "v"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	base := env.Now()
+	var sharedDone [2]time.Duration
+	var writerDone time.Duration
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Spawn("shared", func(p *sim.Proc) {
+			tx, err := c.Begin(p, client, 1, tbl, "p")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, _, err := tx.ReadLocked(tbl, "p", "k", LockShared); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(20 * time.Millisecond)
+			if err := tx.Commit(); err != nil {
+				t.Error(err)
+			}
+			sharedDone[i] = p.Now() - base
+		})
+	}
+	env.Spawn("writer", func(p *sim.Proc) {
+		p.Sleep(5 * time.Millisecond)
+		tx, err := c.Begin(p, client, 1, tbl, "p")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := tx.Insert(tbl, "p", "k", "w"); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := tx.Commit(); err != nil {
+			t.Error(err)
+		}
+		writerDone = p.Now() - base
+	})
+	env.RunFor(time.Second)
+	// Both shared readers overlap (finish ~same time); the writer finishes
+	// only after both released.
+	if sharedDone[0] > 30*time.Millisecond || sharedDone[1] > 30*time.Millisecond {
+		t.Fatalf("shared readers did not overlap: %v", sharedDone)
+	}
+	if writerDone <= sharedDone[0] || writerDone <= sharedDone[1] {
+		t.Fatalf("writer finished at %v before shared readers %v", writerDone, sharedDone)
+	}
+}
+
+func TestTCSelectionPrefersDomainLocal(t *testing.T) {
+	env, c, _ := testCluster(t, true, 3)
+	tbl := c.CreateTable("t", 64, TableOptions{ReadBackup: true})
+	for z := simnet.ZoneID(1); z <= 3; z++ {
+		cl := c.net.NewNode("cl", z, 500+simnet.HostID(z))
+		var tc *DataNode
+		env.Spawn("probe", func(p *sim.Proc) {
+			tx, err := c.Begin(p, cl, z, tbl, "p")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tc = tx.Coordinator()
+			tx.Abort()
+		})
+		env.RunFor(time.Second)
+		if tc == nil || tc.Domain != z {
+			t.Fatalf("zone %d client got TC in domain %v", z, tc.Domain)
+		}
+	}
+}
+
+func TestTCSelectionWithoutAwarenessPicksPrimary(t *testing.T) {
+	env, c, client := testCluster(t, false, 3)
+	tbl := c.CreateTable("t", 64, TableOptions{})
+	var tc *DataNode
+	env.Spawn("probe", func(p *sim.Proc) {
+		tx, err := c.Begin(p, client, simnet.ZoneUnset, tbl, "p")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tc = tx.Coordinator()
+		tx.Abort()
+	})
+	env.RunFor(time.Second)
+	primary := tbl.partitionFor("p").replicas()[0]
+	if tc != primary {
+		t.Fatalf("TC = %v, want hinted primary %v", tc.Node, primary.Node)
+	}
+}
+
+func TestNodeFailurePromotesBackupAndClusterContinues(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("t", 64, TableOptions{ReadBackup: true})
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(tbl, "p", "k", "before"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	part := tbl.partitionFor("p")
+	oldPrimary := part.replicas()[0]
+	oldPrimary.Node.Fail()
+	// Let heartbeats detect and declare the failure.
+	env.RunFor(2 * time.Second)
+	if !oldPrimary.declaredDead {
+		t.Fatal("failed primary not declared dead")
+	}
+	newPrimary := part.replicas()[0]
+	if newPrimary == oldPrimary {
+		t.Fatal("primary not promoted")
+	}
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		v, ok, err := tx.ReadCommitted(tbl, "p", "k")
+		if err != nil {
+			return err
+		}
+		if !ok || v != "before" {
+			t.Errorf("read (%v,%v) after failover", v, ok)
+		}
+		if err := tx.Insert(tbl, "p", "k", "after"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+}
+
+func TestSplitBrainArbitrationShutsDownOneSide(t *testing.T) {
+	env, c, _ := testCluster(t, true, 3)
+	// Partition zone 2 from zone 3; the arbitrator (M1, zone 1) is
+	// reachable from both sides, so the first claimant's side survives and
+	// the other side is ordered down.
+	c.net.Partition(2, 3)
+	env.RunFor(3 * time.Second)
+	shutdownZones := map[simnet.ZoneID]int{}
+	for _, dn := range c.DataNodes() {
+		if dn.Shutdown() {
+			shutdownZones[dn.Node.Zone()]++
+		}
+	}
+	if len(shutdownZones) != 1 {
+		t.Fatalf("zones shut down: %v, want exactly one of zone2/zone3", shutdownZones)
+	}
+	for z, n := range shutdownZones {
+		if z == 1 {
+			t.Fatal("zone 1 shut down; it was never partitioned")
+		}
+		if n != 2 {
+			t.Fatalf("zone %d: %d nodes shut down, want 2", z, n)
+		}
+	}
+	// The surviving majority keeps serving transactions.
+	tbl := c.CreateTable("t", 64, TableOptions{ReadBackup: true})
+	client := c.net.NewNode("cl", 1, 600)
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(tbl, "p", "k", "v"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+}
+
+func TestZoneCutOffFromArbitratorShutsItselfDown(t *testing.T) {
+	env, c, _ := testCluster(t, true, 3)
+	// Cut zone 3 from both zone 1 (arbitrator) and zone 2: zone 3 cannot
+	// reach the arbitrator and must shut down (§V-F).
+	c.net.Partition(1, 3)
+	c.net.Partition(2, 3)
+	env.RunFor(3 * time.Second)
+	for _, dn := range c.DataNodes() {
+		down := dn.Shutdown() || dn.declaredDead
+		if dn.Node.Zone() == 3 && !down {
+			t.Fatalf("zone-3 node %v still up without arbitrator", dn.Node)
+		}
+		if dn.Node.Zone() != 3 && down {
+			t.Fatalf("node %v outside zone 3 went down", dn.Node)
+		}
+	}
+}
+
+func TestAZFailureToleratedWithRF3(t *testing.T) {
+	env, c, _ := testCluster(t, true, 3)
+	tbl := c.CreateTable("t", 64, TableOptions{ReadBackup: true})
+	seed := c.net.NewNode("seed", 1, 601)
+	inTxn(t, env, c, seed, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(tbl, "p", "k", "v"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	c.FailZone(2)
+	env.RunFor(3 * time.Second)
+	inTxn(t, env, c, seed, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		v, ok, err := tx.ReadCommitted(tbl, "p", "k")
+		if err != nil {
+			return err
+		}
+		if !ok || v != "v" {
+			t.Errorf("read (%v,%v) after AZ failure", v, ok)
+		}
+		if err := tx.Insert(tbl, "p", "k2", "v2"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+}
+
+func TestCheckpointFlushesRedoToDisk(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("t", 4096, TableOptions{ReadBackup: true})
+	for i := 0; i < 5; i++ {
+		key := string(rune('a' + i))
+		inTxn(t, env, c, client, 1, tbl, key, func(p *sim.Proc, tx *Txn) error {
+			if err := tx.Insert(tbl, key, key, i); err != nil {
+				return err
+			}
+			return tx.Commit()
+		})
+	}
+	env.RunFor(c.cfg.GCPInterval * 2)
+	var disk int64
+	for _, dn := range c.DataNodes() {
+		_, w := dn.Node.DiskBytes()
+		disk += w
+	}
+	if disk == 0 {
+		t.Fatal("no REDO bytes reached disk after two checkpoint intervals")
+	}
+}
+
+func TestSpreadPlacementSpansZonesPerGroup(t *testing.T) {
+	zones := []simnet.ZoneID{1, 2, 3}
+	pl := SpreadPlacement(12, zones, 0)
+	numGroups := 4 // 12 nodes, RF 3
+	for g := 0; g < numGroups; g++ {
+		seen := map[simnet.ZoneID]bool{}
+		for i := g; i < 12; i += numGroups {
+			seen[pl[i].Zone] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("group %d spans %d zones, want 3", g, len(seen))
+		}
+	}
+}
+
+func TestBeginWithNoAliveNodesFails(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	for _, dn := range c.DataNodes() {
+		dn.Node.Fail()
+		dn.shutdown = true
+	}
+	var err error
+	env.Spawn("probe", func(p *sim.Proc) {
+		_, err = c.Begin(p, client, 1, nil, "")
+	})
+	env.RunFor(time.Second)
+	if !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("err = %v, want ErrNoNodes", err)
+	}
+}
+
+func TestRejoinAfterNodeFailure(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("t", 128, TableOptions{ReadBackup: true})
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(tbl, "p", "k", "v"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	victim := tbl.partitionFor("p").replicas()[0]
+	victim.Node.Fail()
+	env.RunFor(2 * time.Second)
+	if !victim.declaredDead {
+		t.Fatal("victim not declared dead")
+	}
+	env.Spawn("rejoin", func(p *sim.Proc) { c.Rejoin(p, victim) })
+	env.RunFor(5 * time.Second)
+	if !victim.Alive() || victim.declaredDead {
+		t.Fatal("victim did not rejoin")
+	}
+	// The rejoined node is a replica again and the resync moved bytes.
+	found := false
+	for _, dn := range tbl.partitionFor("p").replicas() {
+		if dn == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("rejoined node not serving its partitions")
+	}
+	if r, _ := victim.Node.NICBytes(); r == 0 {
+		t.Fatal("rejoin copied no data")
+	}
+	// And transactions keep working, including on the rejoined node's data.
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		v, ok, err := tx.ReadCommitted(tbl, "p", "k")
+		if err != nil {
+			return err
+		}
+		if !ok || v != "v" {
+			t.Errorf("read after rejoin: (%v,%v)", v, ok)
+		}
+		return tx.Commit()
+	})
+}
+
+func TestRecoverZoneAfterAZFailure(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("t", 128, TableOptions{ReadBackup: true})
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(tbl, "p", "k", "v"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	c.FailZone(2)
+	env.RunFor(2 * time.Second)
+	env.Spawn("recover", func(p *sim.Proc) { c.RecoverZone(p, 2) })
+	env.RunFor(10 * time.Second)
+	for _, dn := range c.DataNodes() {
+		if !dn.Alive() {
+			t.Fatalf("node %v still down after zone recovery", dn.Node)
+		}
+	}
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(tbl, "p", "k2", "v2"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+}
+
+// TestCommitProtocolMessageCount pins the linear-2PC wire footprint to the
+// paper's Figure 2. For one written row with three replicas the chain is:
+// Prepare x3 down the chain, Prepared x1 back to the TC, Commit x3 in
+// reverse, Committed x1, then (Read Backup) Complete x2 and Completed x2 —
+// 12 messages, plus the Ack to the API client.
+func TestCommitProtocolMessageCount(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	c.StopBackground()
+	env.RunFor(time.Second) // drain housekeeping
+	tbl := c.CreateTable("t", 64, TableOptions{ReadBackup: true})
+	var commitMsgs int64
+	env.Spawn("txn", func(p *sim.Proc) {
+		tx, err := c.Begin(p, client, 1, tbl, "p")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := tx.Insert(tbl, "p", "k", "v"); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Flush()
+		before := c.net.TotalMessages()
+		if err := tx.Commit(); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Flush()
+		commitMsgs = c.net.TotalMessages() - before
+	})
+	env.RunFor(time.Minute)
+	// 12 protocol messages + 1 client Ack.
+	if commitMsgs != 13 {
+		t.Fatalf("commit used %d messages, want 13 (Figure 2 with RF 3 + Ack)", commitMsgs)
+	}
+}
+
+// TestReadBackupDelaysAck verifies §IV-A3: with Read Backup the Ack waits
+// for the Completed round trips, so a commit takes strictly longer than
+// without (same deployment geometry).
+func TestReadBackupDelaysAck(t *testing.T) {
+	commitTime := func(rb bool) time.Duration {
+		env, c, client := testCluster(t, true, 3)
+		_ = env
+		tbl := c.CreateTable("t", 64, TableOptions{ReadBackup: rb})
+		var took time.Duration
+		env.Spawn("txn", func(p *sim.Proc) {
+			tx, err := c.Begin(p, client, 1, tbl, "p")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := tx.Insert(tbl, "p", "k", "v"); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Flush()
+			t0 := p.Now()
+			if err := tx.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Flush()
+			took = p.Now() - t0
+		})
+		env.RunFor(time.Minute)
+		return took
+	}
+	with := commitTime(true)
+	without := commitTime(false)
+	if with <= without {
+		t.Fatalf("Read Backup commit (%v) not slower than plain commit (%v)", with, without)
+	}
+}
+
+// TestClusterCrashRecoversDurableEpochOnly pins the §II-B2 global
+// checkpoint durability semantics: commits older than the last completed
+// global checkpoint survive a whole-cluster failure; newer ones are lost.
+func TestClusterCrashRecoversDurableEpochOnly(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("t", 64, TableOptions{ReadBackup: true})
+	write := func(p *sim.Proc, key, val string) error {
+		tx, err := c.Begin(p, client, 1, tbl, "p")
+		if err != nil {
+			return err
+		}
+		if err := tx.Insert(tbl, "p", key, val); err != nil {
+			return err
+		}
+		return tx.Commit()
+	}
+	env.Spawn("scenario", func(p *sim.Proc) {
+		if err := write(p, "durable", "v1"); err != nil {
+			t.Error(err)
+			return
+		}
+		// Let GCP epochs pass so the write becomes durable, then write a
+		// row in the current (non-durable) epoch and crash immediately.
+		p.Sleep(3 * c.cfg.GCPInterval)
+		if c.DurableEpoch() == 0 {
+			t.Error("no durable epoch after three intervals")
+			return
+		}
+		if err := write(p, "volatile", "v2"); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Flush()
+		c.CrashRestartCluster(p)
+	})
+	env.RunFor(10 * time.Second)
+
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		v, ok, err := tx.ReadCommitted(tbl, "p", "durable")
+		if err != nil {
+			return err
+		}
+		if !ok || v != "v1" {
+			t.Errorf("durable row after crash: (%v,%v)", v, ok)
+		}
+		_, ok, err = tx.ReadCommitted(tbl, "p", "volatile")
+		if err != nil {
+			return err
+		}
+		if ok {
+			t.Error("non-durable row survived a whole-cluster crash")
+		}
+		return tx.Commit()
+	})
+	// The cluster keeps working after recovery.
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(tbl, "p", "after", "v3"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	// Recovery replayed REDO from disk on every node.
+	var reads int64
+	for _, dn := range c.DataNodes() {
+		r, _ := dn.Node.DiskBytes()
+		reads += r
+	}
+	if reads == 0 {
+		t.Fatal("recovery read nothing from disk")
+	}
+}
+
+func TestEpochAdvances(t *testing.T) {
+	env, c, _ := testCluster(t, true, 3)
+	e0 := c.CurrentEpoch()
+	env.RunFor(3 * c.cfg.GCPInterval)
+	if c.CurrentEpoch() <= e0 {
+		t.Fatalf("epoch did not advance: %d -> %d", e0, c.CurrentEpoch())
+	}
+	if c.DurableEpoch() >= c.CurrentEpoch() {
+		t.Fatalf("durable epoch %d not behind current %d", c.DurableEpoch(), c.CurrentEpoch())
+	}
+}

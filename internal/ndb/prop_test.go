@@ -1,0 +1,333 @@
+package ndb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/simnet"
+)
+
+// TestPropRowLockInvariants drives a row lock with random acquire/release
+// sequences and checks the classic 2PL invariants after every step: at most
+// one exclusive holder, shared and exclusive never coexist, and no granted
+// waiter remains queued.
+func TestPropRowLockInvariants(t *testing.T) {
+	prop := func(seed int64, opsRaw []byte) bool {
+		env := sim.New(seed)
+		defer env.Close()
+		var l rowLock
+		rng := rand.New(rand.NewSource(seed))
+		held := map[uint64]LockMode{}
+		pendingTxns := map[uint64]bool{}
+		for _, b := range opsRaw {
+			txn := uint64(b%6) + 1
+			switch {
+			case b%3 != 0:
+				mode := LockShared
+				if b%2 == 0 {
+					mode = LockExclusive
+				}
+				if pendingTxns[txn] {
+					continue // txn already waiting; a real txn blocks
+				}
+				mb := l.acquire(env, txn, mode)
+				if mb == nil {
+					if cur := l.holders[txn]; cur < mode {
+						t.Errorf("grant did not record mode: %v < %v", cur, mode)
+						return false
+					}
+					held[txn] = l.holders[txn]
+				} else {
+					pendingTxns[txn] = true
+				}
+			default:
+				if len(held) == 0 {
+					continue
+				}
+				var victims []uint64
+				for h := range held {
+					victims = append(victims, h)
+				}
+				victim := victims[rng.Intn(len(victims))]
+				l.release(victim)
+				delete(held, victim)
+				// Grants may have fired: sync view from holders.
+				for h, m := range l.holders {
+					held[h] = m
+					delete(pendingTxns, h)
+				}
+			}
+			// Invariants.
+			exclusive := 0
+			shared := 0
+			for _, m := range l.holders {
+				if m == LockExclusive {
+					exclusive++
+				} else {
+					shared++
+				}
+			}
+			if exclusive > 1 {
+				t.Errorf("%d exclusive holders", exclusive)
+				return false
+			}
+			if exclusive == 1 && shared > 0 {
+				t.Errorf("shared (%d) coexists with exclusive", shared)
+				return false
+			}
+			// A queued waiter must genuinely be incompatible right now,
+			// or behind another waiter (FIFO, no barging).
+			if len(l.waiters) > 0 {
+				w := l.waiters[0]
+				if l.compatible(w.txn, w.mode) {
+					t.Error("head waiter is compatible but not granted")
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropHashKeyBoundsAndDeterminism checks the partition hash.
+func TestPropHashKeyBoundsAndDeterminism(t *testing.T) {
+	prop := func(key string, n uint8) bool {
+		parts := int(n%64) + 1
+		a := hashKey(key, parts)
+		b := hashKey(key, parts)
+		return a == b && a >= 0 && a < parts
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropSpreadPlacementBalanced checks that SpreadPlacement distributes
+// nodes evenly over zones and that every node group spans multiple zones
+// whenever the geometry allows it.
+func TestPropSpreadPlacementBalanced(t *testing.T) {
+	prop := func(nodesRaw, zonesRaw, rfRaw uint8) bool {
+		zones := int(zonesRaw%3) + 1
+		rf := int(rfRaw%3) + 1
+		// Node count: a multiple of rf and zones for clean geometry.
+		factor := int(nodesRaw%4) + 1
+		n := rf * zones * factor
+		zoneIDs := make([]simnet.ZoneID, zones)
+		for i := range zoneIDs {
+			zoneIDs[i] = simnet.ZoneID(i + 1)
+		}
+		pls := SpreadPlacement(n, zoneIDs, 0)
+		if len(pls) != n {
+			return false
+		}
+		// Even spread.
+		perZone := map[simnet.ZoneID]int{}
+		for _, pl := range pls {
+			perZone[pl.Zone]++
+		}
+		for _, c := range perZone {
+			if c != n/zones {
+				return false
+			}
+		}
+		// Group coverage: group g = indices {g, g+numGroups, ...}.
+		numGroups := n / rf
+		want := min(zones, rf)
+		for g := 0; g < numGroups; g++ {
+			seen := map[simnet.ZoneID]bool{}
+			for i := g; i < n; i += numGroups {
+				seen[pls[i].Zone] = true
+			}
+			if len(seen) < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropSequentialCommitsMatchOracle applies random sequential write
+// transactions and checks that reads always return the last committed
+// value, using a plain map as the oracle.
+func TestPropSequentialCommitsMatchOracle(t *testing.T) {
+	prop := func(seed int64, script []byte) bool {
+		env := sim.New(seed)
+		defer env.Close()
+		net := simnet.New(env, simnet.USWest1())
+		cfg := DefaultConfig()
+		cfg.DataNodes = 6
+		cfg.Replication = 3
+		cfg.PartitionsPerTable = 8
+		c, err := New(env, net, cfg, SpreadPlacement(6, []simnet.ZoneID{1, 2, 3}, 0), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := c.CreateTable("t", 64, TableOptions{ReadBackup: true})
+		client := net.NewNode("client", 1, 100)
+		oracle := map[string]int{}
+		ok := true
+		env.Spawn("driver", func(p *sim.Proc) {
+			for i, b := range script {
+				pk := fmt.Sprintf("p%d", b%5)
+				key := fmt.Sprintf("k%d", b%7)
+				tx, err := c.Begin(p, client, 1, tbl, pk)
+				if err != nil {
+					t.Error(err)
+					ok = false
+					return
+				}
+				switch b % 3 {
+				case 0: // write
+					if err := tx.Insert(tbl, pk, key, i); err != nil {
+						t.Error(err)
+						ok = false
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						t.Error(err)
+						ok = false
+						return
+					}
+					oracle[pk+"|"+key] = i
+				case 1: // delete
+					if err := tx.Delete(tbl, pk, key); err != nil {
+						t.Error(err)
+						ok = false
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						t.Error(err)
+						ok = false
+						return
+					}
+					delete(oracle, pk+"|"+key)
+				case 2: // read and compare
+					v, found, err := tx.ReadCommitted(tbl, pk, key)
+					if err != nil {
+						t.Error(err)
+						ok = false
+						return
+					}
+					tx.Abort()
+					want, exists := oracle[pk+"|"+key]
+					if found != exists || (found && v.(int) != want) {
+						t.Errorf("read (%v,%v), oracle (%v,%v)", v, found, want, exists)
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		env.RunFor(time.Minute)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropTCSelectionSound checks the coordinator selection policy over
+// random hints: the chosen TC is always alive, and for Read Backup tables
+// with an AZ-local replica the TC shares the caller's domain.
+func TestPropTCSelectionSound(t *testing.T) {
+	env := sim.New(5)
+	defer env.Close()
+	net := simnet.New(env, simnet.USWest1())
+	cfg := DefaultConfig()
+	cfg.DataNodes = 6
+	cfg.Replication = 3
+	cfg.PartitionsPerTable = 12
+	c, err := New(env, net, cfg, SpreadPlacement(6, []simnet.ZoneID{1, 2, 3}, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := c.CreateTable("rb", 64, TableOptions{ReadBackup: true})
+	plain := c.CreateTable("plain", 64, TableOptions{})
+	clients := map[simnet.ZoneID]*simnet.Node{}
+	for z := simnet.ZoneID(1); z <= 3; z++ {
+		clients[z] = net.NewNode("cl", z, simnet.HostID(200+int(z)))
+	}
+	prop := func(hintRaw uint16, zoneRaw, tblRaw uint8) bool {
+		z := simnet.ZoneID(zoneRaw%3) + 1
+		hint := fmt.Sprintf("h%d", hintRaw)
+		tbl := rb
+		if tblRaw%2 == 0 {
+			tbl = plain
+		}
+		tc := c.selectTC(clients[z], z, tbl, hint)
+		if tc == nil || !tc.Alive() {
+			return false
+		}
+		// §IV-A5 cases 1 and 3: with RF 3 over 3 AZs a replica of the
+		// hinted partition exists in the caller's zone, so the coordinator
+		// is always AZ-local (for plain tables only reads reroute to the
+		// primary afterwards).
+		if tc.Domain != z {
+			return false
+		}
+		for _, rep := range tbl.partitionFor(hint).replicas() {
+			if rep == tc {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropReplicasAlwaysAliveAndPrimaryFirst kills random datanodes and
+// checks partition replica lists stay consistent.
+func TestPropReplicasAlwaysAliveAndPrimaryFirst(t *testing.T) {
+	prop := func(seed int64, kills []byte) bool {
+		env := sim.New(seed)
+		defer env.Close()
+		net := simnet.New(env, simnet.USWest1())
+		cfg := DefaultConfig()
+		cfg.DataNodes = 6
+		cfg.Replication = 3
+		cfg.PartitionsPerTable = 6
+		c, err := New(env, net, cfg, SpreadPlacement(6, []simnet.ZoneID{1, 2, 3}, 0), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := c.CreateTable("t", 64, TableOptions{ReadBackup: true})
+		if len(kills) > 4 {
+			kills = kills[:4] // keep at least 2 nodes alive
+		}
+		for _, k := range kills {
+			dn := c.datanodes[int(k)%len(c.datanodes)]
+			dn.Node.Fail()
+			c.declareDead(dn)
+		}
+		for _, part := range tbl.Partitions() {
+			reps := part.replicas()
+			for _, dn := range reps {
+				if !dn.Alive() {
+					return false
+				}
+			}
+			// All replicas of one partition belong to its node group.
+			for _, dn := range reps {
+				if dn.Group != part.Group() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

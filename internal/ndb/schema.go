@@ -1,0 +1,230 @@
+package ndb
+
+import "hopsfscl/internal/sim"
+
+// TableOptions are the per-table features of §IV-A3.
+type TableOptions struct {
+	// ReadBackup delays the commit Ack until all backup replicas have
+	// completed, making read-committed reads consistent on every replica.
+	// HopsFS-CL enables it for all tables (§IV-A5).
+	ReadBackup bool
+	// FullyReplicated keeps a replica of every partition on every
+	// datanode, trading slower writes for AZ-local reads everywhere.
+	FullyReplicated bool
+}
+
+// Value is a stored row value. Values must be treated as immutable by
+// callers: store a fresh value instead of mutating one read back.
+type Value any
+
+// Table is a distributed table: rows keyed by (partition key, row key).
+type Table struct {
+	c          *Cluster
+	name       string
+	rowSize    int
+	opts       TableOptions
+	partitions []*Partition
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Options returns the table's feature flags.
+func (t *Table) Options() TableOptions { return t.opts }
+
+// Partitions returns the table's partitions (index order).
+func (t *Table) Partitions() []*Partition { return t.partitions }
+
+// RowSize is the nominal on-wire size of one row, used for network and
+// disk accounting.
+func (t *Table) RowSize() int { return t.rowSize }
+
+// partitionFor maps a partition key to its partition.
+func (t *Table) partitionFor(partKey string) *Partition {
+	return t.partitions[hashKey(partKey, len(t.partitions))]
+}
+
+// Partition is one horizontal fragment of a table, owned by a node group.
+// The primary replica serves locked reads and heads the commit chain;
+// backups are readable under Read Backup. Row data is held once (replicas
+// converge at commit; the staleness window is enforced by routing rules,
+// not by duplicate storage).
+type Partition struct {
+	table   *Table
+	index   int
+	group   int
+	primary int // index into the node group's slice
+	// rows buckets by partition key, then row key: all rows of one
+	// partition key (e.g. one directory's children) live in one bucket, so
+	// partition-pruned scans touch only the relevant bucket.
+	rows map[string]map[string]*row
+
+	// reads counts served reads per replica slot (0 = current primary's
+	// slot at read time) — the Figure 14 measurement.
+	reads []int64
+}
+
+// Index returns the partition's index within its table.
+func (p *Partition) Index() int { return p.index }
+
+// Group returns the owning node group.
+func (p *Partition) Group() int { return p.group }
+
+// ReadCounts returns a copy of per-replica-slot served read counters,
+// slot 0 being the primary.
+func (p *Partition) ReadCounts() []int64 {
+	out := make([]int64, len(p.reads))
+	copy(out, p.reads)
+	return out
+}
+
+// replicas returns the alive replica datanodes for this partition with the
+// current primary first, then backups in group order. For fully replicated
+// tables the partition is additionally present on all other groups; those
+// copies are resolved by the routing code, not listed here.
+func (p *Partition) replicas() []*DataNode {
+	group := p.table.c.groups[p.group]
+	out := make([]*DataNode, 0, len(group))
+	for i := 0; i < len(group); i++ {
+		dn := group[(p.primary+i)%len(group)]
+		if dn.Alive() {
+			out = append(out, dn)
+		}
+	}
+	return out
+}
+
+// promoteFrom makes the next alive replica primary if the current primary
+// is the given failed node.
+func (p *Partition) promoteFrom(failed *DataNode) {
+	group := p.table.c.groups[p.group]
+	if group[p.primary] != failed {
+		return
+	}
+	for i := 1; i < len(group); i++ {
+		cand := (p.primary + i) % len(group)
+		if group[cand].Alive() {
+			p.primary = cand
+			return
+		}
+	}
+}
+
+// StoreDirect writes a committed row bypassing the transaction machinery.
+// It exists only for bootstrap seeding (e.g. a file system root inode or a
+// pre-built benchmark namespace) before any traffic runs.
+func StoreDirect(t *Table, partKey, key string, val Value) {
+	part := t.partitionFor(partKey)
+	r := part.getRow(partKey, key)
+	r.val = val
+	r.exists = true
+}
+
+// row is one stored row with its lock state. epoch records the global
+// checkpoint epoch of the last committed write: rows newer than the
+// durable epoch do not survive a whole-cluster failure (§II-B2).
+type row struct {
+	val     Value
+	exists  bool
+	epoch   uint64
+	pending *pendingWrite
+	lock    rowLock
+}
+
+type pendingWrite struct {
+	val    Value
+	delete bool
+	txn    uint64
+}
+
+// LockMode is the strength of a row lock.
+type LockMode int
+
+// Lock modes.
+const (
+	// LockShared allows concurrent shared holders.
+	LockShared LockMode = iota + 1
+	// LockExclusive allows a single holder.
+	LockExclusive
+)
+
+// rowLock implements strict two-phase locking per row with FIFO waiters.
+// Deadlocks resolve via the waiters' timeouts (the NDB
+// TransactionDeadlockDetectionTimeout mechanism).
+type rowLock struct {
+	holders map[uint64]LockMode
+	waiters []*lockWaiter
+}
+
+type lockWaiter struct {
+	txn     uint64
+	mode    LockMode
+	granted *sim.Mailbox[bool]
+}
+
+// compatible reports whether txn may take mode given current holders.
+func (l *rowLock) compatible(txn uint64, mode LockMode) bool {
+	for holder, hm := range l.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == LockExclusive || hm == LockExclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// acquire attempts to grant immediately; if it cannot, it enqueues a waiter
+// and returns the mailbox the grant (or nothing, on timeout) arrives on.
+func (l *rowLock) acquire(env *sim.Env, txn uint64, mode LockMode) *sim.Mailbox[bool] {
+	if cur, ok := l.holders[txn]; ok && cur >= mode {
+		return nil // already held at sufficient strength
+	}
+	if len(l.waiters) == 0 && l.compatible(txn, mode) {
+		l.grant(txn, mode)
+		return nil
+	}
+	w := &lockWaiter{txn: txn, mode: mode, granted: sim.NewMailbox[bool](env)}
+	l.waiters = append(l.waiters, w)
+	return w.granted
+}
+
+func (l *rowLock) grant(txn uint64, mode LockMode) {
+	if l.holders == nil {
+		l.holders = make(map[uint64]LockMode, 2)
+	}
+	if cur, ok := l.holders[txn]; !ok || mode > cur {
+		l.holders[txn] = mode
+	}
+}
+
+// release drops txn's hold and grants as many FIFO waiters as possible.
+func (l *rowLock) release(txn uint64) {
+	delete(l.holders, txn)
+	l.pump()
+}
+
+// removeWaiter drops a timed-out waiter from the queue.
+func (l *rowLock) removeWaiter(txn uint64) {
+	for i, w := range l.waiters {
+		if w.txn == txn {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			break
+		}
+	}
+	l.pump()
+}
+
+// pump grants waiters at the head of the queue while compatible.
+func (l *rowLock) pump() {
+	for len(l.waiters) > 0 {
+		w := l.waiters[0]
+		if !l.compatible(w.txn, w.mode) {
+			return
+		}
+		l.waiters = l.waiters[1:]
+		l.grant(w.txn, w.mode)
+		w.granted.Send(true)
+	}
+}

@@ -1,0 +1,124 @@
+package sim
+
+import "time"
+
+// Mailbox is an unbounded FIFO queue connecting processes. Sends never
+// block; receives block the calling process until a value arrives. A
+// mailbox may have many senders and many receivers; waiting receivers are
+// served in FIFO order.
+type Mailbox[T any] struct {
+	env     *Env
+	q       []T
+	waiters []*mboxWaiter[T]
+}
+
+type mboxWaiter[T any] struct {
+	p        *Proc
+	v        T
+	got      bool
+	timedOut bool
+	timer    *event
+}
+
+// NewMailbox returns an empty mailbox bound to env.
+func NewMailbox[T any](env *Env) *Mailbox[T] {
+	return &Mailbox[T]{env: env}
+}
+
+// Send enqueues v, waking the oldest waiting receiver if any. Send may be
+// called from processes or from event callbacks.
+func (m *Mailbox[T]) Send(v T) {
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		if w.got || w.timedOut {
+			continue
+		}
+		w.v = v
+		w.got = true
+		if w.timer != nil {
+			w.timer.cancelled = true
+		}
+		m.env.unparkTracked(w.p)
+		m.env.readyProc(w.p)
+		return
+	}
+	m.q = append(m.q, v)
+}
+
+// Recv blocks p until a value is available and returns it. Pending
+// deferred delay is flushed first.
+func (m *Mailbox[T]) Recv(p *Proc) T {
+	p.Flush()
+	if len(m.q) > 0 {
+		v := m.q[0]
+		m.q = m.q[1:]
+		return v
+	}
+	w := &mboxWaiter[T]{p: p}
+	m.waiters = append(m.waiters, w)
+	p.parkTracked()
+	return w.v
+}
+
+// RecvTimeout blocks p until a value arrives or d elapses. The second
+// result reports whether a value was received. Pending deferred delay is
+// flushed first.
+func (m *Mailbox[T]) RecvTimeout(p *Proc, d time.Duration) (T, bool) {
+	p.Flush()
+	if len(m.q) > 0 {
+		v := m.q[0]
+		m.q = m.q[1:]
+		return v, true
+	}
+	env := m.env
+	w := &mboxWaiter[T]{p: p}
+	env.seq++
+	w.timer = &event{t: env.now + d, seq: env.seq}
+	w.timer.fn = func() {
+		if w.got || w.timedOut {
+			return
+		}
+		w.timedOut = true
+		env.unparkTracked(p)
+		env.readyProc(p)
+	}
+	pushEvent(env, w.timer)
+	m.waiters = append(m.waiters, w)
+	p.parkTracked()
+	if w.timedOut {
+		var zero T
+		return zero, false
+	}
+	return w.v, true
+}
+
+// TryRecv returns a value if one is queued, without blocking.
+func (m *Mailbox[T]) TryRecv() (T, bool) {
+	if len(m.q) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := m.q[0]
+	m.q = m.q[1:]
+	return v, true
+}
+
+// Drain removes and returns up to max queued values without blocking. If
+// max <= 0 the entire queue is drained.
+func (m *Mailbox[T]) Drain(max int) []T {
+	n := len(m.q)
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]T, n)
+	copy(out, m.q[:n])
+	m.q = m.q[n:]
+	return out
+}
+
+// Len returns the number of queued (undelivered) values.
+func (m *Mailbox[T]) Len() int { return len(m.q) }

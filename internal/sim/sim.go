@@ -1,0 +1,359 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All higher layers (network, database, file system, benchmarks) run as
+// cooperative processes on top of this kernel. Exactly one process executes
+// at a time, time is virtual, and all scheduling decisions are totally
+// ordered by (time, sequence number), so a simulation with a given seed is
+// reproducible bit-for-bit.
+//
+// A process is an ordinary goroutine that blocks only through the kernel's
+// primitives (Sleep, Mailbox.Recv, Resource.Acquire). The kernel parks the
+// goroutine and resumes it when the corresponding virtual-time event fires.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Env is a simulation environment: a virtual clock, an event queue, and the
+// set of processes that run against them. Create one with New, spawn
+// processes with Spawn or Go, and drive it with Run or RunFor. Environments
+// are not safe for concurrent use from multiple OS threads; all interaction
+// must happen either before Run or from within simulation processes.
+type Env struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	ready  []*Proc
+	yield  chan struct{}
+	rng    *rand.Rand
+	closed bool
+	nprocs int
+
+	// allParked tracks processes parked on mailboxes or resources (not on
+	// timers) so Close can reach and kill them.
+	allParked []*Proc
+
+	// stopAt, when >= 0, bounds RunFor.
+	stopAt time.Duration
+}
+
+// New returns a fresh simulation environment seeded with seed. Two
+// environments with the same seed and the same spawned processes execute
+// identically.
+func New(seed int64) *Env {
+	return &Env{
+		yield:  make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+		stopAt: -1,
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Rand returns the environment's deterministic random source. It must only
+// be used from the currently running process or from event callbacks, which
+// the kernel already serializes.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Spawn registers fn as a new process. The process starts the next time the
+// scheduler runs (immediately at the current virtual time if called from a
+// running process). The name is used in diagnostics only.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Spawn on closed Env")
+	}
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.nprocs++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if r != errKilled {
+					panic(r)
+				}
+			}
+			p.done = true
+			e.nprocs--
+			e.yield <- struct{}{}
+		}()
+		if !p.killed {
+			fn(p)
+		}
+	}()
+	e.ready = append(e.ready, p)
+	return p
+}
+
+// Go is Spawn with an anonymous name.
+func (e *Env) Go(fn func(p *Proc)) *Proc { return e.Spawn("proc", fn) }
+
+// At schedules fn to run as an event callback at absolute virtual time t
+// (clamped to now). Event callbacks run on the scheduler and must not block;
+// they typically send to mailboxes or spawn processes.
+func (e *Env) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run as an event callback after delay d.
+func (e *Env) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Run drives the simulation until no process is runnable and no event is
+// pending (quiescence). Processes blocked forever on empty mailboxes (e.g.
+// servers) do not prevent quiescence.
+func (e *Env) Run() {
+	e.stopAt = -1
+	e.loop()
+}
+
+// RunFor drives the simulation for d of virtual time (from the current
+// instant) and then stops, leaving the environment resumable. The clock is
+// advanced to exactly now+d even if the event queue empties earlier.
+func (e *Env) RunFor(d time.Duration) {
+	e.stopAt = e.now + d
+	e.loop()
+	if e.now < e.stopAt {
+		e.now = e.stopAt
+	}
+	e.stopAt = -1
+}
+
+// Close kills every live process so their goroutines exit. The environment
+// must not be used afterwards. It is safe to call Close multiple times.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	// Kill ready processes first, then any parked ones by letting their
+	// wake-up events fire into killed procs. Parked procs not in the event
+	// queue (mailbox/resource waiters) are tracked via allParked.
+	for _, p := range e.allParked {
+		p.killed = true
+		e.ready = append(e.ready, p)
+	}
+	e.allParked = nil
+	for len(e.ready) > 0 {
+		p := e.ready[0]
+		e.ready = e.ready[1:]
+		if p.done {
+			continue
+		}
+		p.killed = true
+		e.resumeProc(p)
+	}
+	// Drain timer events whose procs are parked in the heap.
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.proc != nil && !ev.proc.done {
+			ev.proc.killed = true
+			e.resumeProc(ev.proc)
+		}
+	}
+}
+
+func (e *Env) loop() {
+	for {
+		for len(e.ready) > 0 {
+			p := e.ready[0]
+			e.ready = e.ready[1:]
+			if p.done {
+				continue
+			}
+			e.resumeProc(p)
+		}
+		if e.events.Len() == 0 {
+			return
+		}
+		next := e.events[0].t
+		if e.stopAt >= 0 && next > e.stopAt {
+			return
+		}
+		e.now = next
+		// Fire all events at this instant in sequence order.
+		for e.events.Len() > 0 && e.events[0].t == e.now {
+			ev := heap.Pop(&e.events).(*event)
+			if ev.cancelled {
+				continue
+			}
+			if ev.fn != nil {
+				ev.fn()
+			}
+		}
+	}
+}
+
+// resumeProc hands control to p and waits until it parks or exits.
+func (e *Env) resumeProc(p *Proc) {
+	p.queued = false
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// readyProc marks p runnable at the current instant.
+func (e *Env) readyProc(p *Proc) {
+	if p.done {
+		return
+	}
+	if p.queued {
+		panic("sim: proc readied twice: " + p.name)
+	}
+	p.queued = true
+	e.ready = append(e.ready, p)
+}
+
+type event struct {
+	t         time.Duration
+	seq       uint64
+	fn        func()
+	proc      *Proc // set for pure timer wake-ups, so Close can find them
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+func (h eventHeap) String() string { return fmt.Sprintf("events(%d)", len(h)) }
+
+var errKilled = fmt.Errorf("sim: process killed")
+
+// pushEvent inserts an already-sequenced event into the queue.
+func pushEvent(e *Env, ev *event) { heap.Push(&e.events, ev) }
+
+// Proc is the handle a process uses to interact with the kernel. Each
+// process receives its own Proc and must not use another process's.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	done   bool
+	killed bool
+
+	// pending is the accumulated deferred delay (see Defer).
+	pending time.Duration
+
+	// queued guards against double-insertion into the ready list.
+	queued bool
+	// parkedEntry, when non-nil, is this proc's entry in env.allParked.
+	parkedIdx int
+	parked    bool
+}
+
+// Env returns the environment this process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+// Rand returns the deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.env.rng }
+
+// Defer adds d to the process's pending virtual delay without blocking.
+// Pending delay represents work whose duration is already determined (an
+// uncontended CPU service, a network hop): accumulating it and sleeping
+// once at the next state-dependent point (Flush, a lock acquisition, a
+// mailbox wait) is semantically equivalent for FIFO fluid resources and
+// orders of magnitude cheaper than parking per step.
+func (p *Proc) Defer(d time.Duration) {
+	if d > 0 {
+		p.pending += d
+	}
+}
+
+// Pending returns the accumulated deferred delay.
+func (p *Proc) Pending() time.Duration { return p.pending }
+
+// EffNow returns the process's effective time: the virtual clock plus its
+// pending deferred delay. Fluid resources schedule against effective time.
+func (p *Proc) EffNow() time.Duration { return p.env.now + p.pending }
+
+// Flush sleeps off any pending deferred delay, synchronizing the process's
+// effective time with the virtual clock. Blocking primitives flush
+// automatically.
+func (p *Proc) Flush() {
+	if p.pending > 0 {
+		d := p.pending
+		p.pending = 0
+		p.Sleep(d)
+	}
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	env := p.env
+	env.seq++
+	ev := &event{t: env.now + d, seq: env.seq, proc: p, fn: func() { env.readyProc(p) }}
+	heap.Push(&env.events, ev)
+	p.park()
+}
+
+// Yield lets other processes runnable at this instant execute before p
+// continues.
+func (p *Proc) Yield() {
+	p.env.readyProc(p)
+	p.park()
+}
+
+// park hands control back to the scheduler until the process is resumed.
+func (p *Proc) park() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilled)
+	}
+}
+
+// parkTracked parks while registered in env.allParked so Close can kill the
+// process even though no timer event references it.
+func (p *Proc) parkTracked() {
+	env := p.env
+	p.parked = true
+	p.parkedIdx = len(env.allParked)
+	env.allParked = append(env.allParked, p)
+	p.park()
+}
+
+// unparkTracked removes p from env.allParked (called by the waker before
+// readying p).
+func (e *Env) unparkTracked(p *Proc) {
+	if !p.parked {
+		return
+	}
+	last := len(e.allParked) - 1
+	idx := p.parkedIdx
+	e.allParked[idx] = e.allParked[last]
+	e.allParked[idx].parkedIdx = idx
+	e.allParked[last] = nil
+	e.allParked = e.allParked[:last]
+	p.parked = false
+}

@@ -1,0 +1,330 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"hopsfscl/internal/sim"
+)
+
+func newTestNet(t *testing.T) (*sim.Env, *Network) {
+	t.Helper()
+	env := sim.New(7)
+	t.Cleanup(env.Close)
+	topo := USWest1()
+	topo.JitterFrac = 0 // exact latencies for assertions
+	return env, New(env, topo)
+}
+
+func TestSendDeliversWithZoneLatency(t *testing.T) {
+	env, net := newTestNet(t)
+	a := net.NewNode("a", 1, 1)
+	b := net.NewNode("b", 2, 2)
+	var at time.Duration
+	var got Message
+	env.Spawn("recv", func(p *sim.Proc) {
+		got = b.Inbox.Recv(p)
+		at = p.Now()
+	})
+	env.Spawn("send", func(p *sim.Proc) {
+		net.Send(a, b, 100, "hi")
+	})
+	env.Run()
+	if got.Payload != "hi" || got.From != a.ID() {
+		t.Fatalf("got %+v", got)
+	}
+	// One-way a->b latency is RTT/2 = 180us plus tiny transmission time.
+	want := 180 * time.Microsecond
+	if at < want || at > want+10*time.Microsecond {
+		t.Fatalf("delivered at %v, want ~%v", at, want)
+	}
+}
+
+func TestSameHostLatencyIsLowest(t *testing.T) {
+	env, net := newTestNet(t)
+	a := net.NewNode("a", 1, 1)
+	b := net.NewNode("b", 1, 1) // same host
+	c := net.NewNode("c", 1, 2) // same zone, other host
+	var tb, tc time.Duration
+	env.Spawn("rb", func(p *sim.Proc) { b.Inbox.Recv(p); tb = p.Now() })
+	env.Spawn("rc", func(p *sim.Proc) { c.Inbox.Recv(p); tc = p.Now() })
+	net.Send(a, b, 10, nil)
+	net.Send(a, c, 10, nil)
+	env.Run()
+	if tb >= tc {
+		t.Fatalf("same-host %v not faster than same-zone %v", tb, tc)
+	}
+}
+
+func TestProximityOrdering(t *testing.T) {
+	env, net := newTestNet(t)
+	_ = env
+	a := net.NewNode("a", 1, 1)
+	sameHost := net.NewNode("sh", 1, 1)
+	sameZone := net.NewNode("sz", 1, 2)
+	remote := net.NewNode("r", 2, 3)
+	unset := net.NewNode("u", ZoneUnset, 4)
+	tests := []struct {
+		name string
+		b    *Node
+		want int
+	}{
+		{"same host", sameHost, ProximitySameHost},
+		{"same zone", sameZone, ProximitySameZone},
+		{"remote", remote, ProximityRemote},
+		{"unset zone", unset, ProximityRemote},
+	}
+	for _, tt := range tests {
+		if got := Proximity(a, tt.b); got != tt.want {
+			t.Errorf("%s: proximity = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestPartitionDropsAndHealRestores(t *testing.T) {
+	env, net := newTestNet(t)
+	a := net.NewNode("a", 1, 1)
+	b := net.NewNode("b", 2, 2)
+	net.Partition(1, 2)
+	var got int
+	env.Spawn("recv", func(p *sim.Proc) {
+		for {
+			if _, ok := b.Inbox.RecvTimeout(p, 10*time.Millisecond); !ok {
+				return
+			}
+			got++
+		}
+	})
+	env.Spawn("send", func(p *sim.Proc) {
+		net.Send(a, b, 10, 1)
+		p.Sleep(time.Millisecond)
+		net.Heal(1, 2)
+		net.Send(a, b, 10, 2)
+	})
+	env.Run()
+	if got != 1 {
+		t.Fatalf("delivered %d messages, want 1 (one dropped by partition)", got)
+	}
+	if net.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", net.Dropped())
+	}
+}
+
+func TestFailedNodeDropsTraffic(t *testing.T) {
+	env, net := newTestNet(t)
+	a := net.NewNode("a", 1, 1)
+	b := net.NewNode("b", 1, 2)
+	b.Fail()
+	net.Send(a, b, 10, nil)
+	env.Run()
+	if b.Inbox.Len() != 0 {
+		t.Fatal("dead node received a message")
+	}
+	b.Recover()
+	net.Send(a, b, 10, nil)
+	env.Run()
+	if b.Inbox.Len() != 1 {
+		t.Fatal("recovered node did not receive")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	env, net := newTestNet(t)
+	a := net.NewNode("a", 1, 1)
+	b := net.NewNode("b", 2, 2)
+	c := net.NewNode("c", 1, 3)
+	net.Send(a, b, 100, nil)
+	net.Send(b, a, 50, nil)
+	net.Send(a, c, 30, nil)
+	env.Run()
+	if got := net.TrafficBetween(1, 2); got != 150 {
+		t.Fatalf("zone1<->zone2 traffic = %d, want 150", got)
+	}
+	if got := net.TrafficBetween(1, 1); got != 30 {
+		t.Fatalf("intra-zone1 traffic = %d, want 30", got)
+	}
+	if got := net.CrossZoneBytes(); got != 150 {
+		t.Fatalf("cross-zone = %d, want 150", got)
+	}
+	if r, w := a.NICBytes(); w != 130 || r != 50 {
+		t.Fatalf("a NIC = (%d,%d), want (50,130)", r, w)
+	}
+}
+
+func TestBandwidthQueueingDelaysBulkTransfers(t *testing.T) {
+	env := sim.New(7)
+	defer env.Close()
+	topo := USWest1()
+	topo.JitterFrac = 0
+	topo.InterZoneBandwidth = 1e6 // 1 MB/s: 1 MB takes 1 s
+	net := New(env, topo)
+	a := net.NewNode("a", 1, 1)
+	b := net.NewNode("b", 2, 2)
+	var t1, t2 time.Duration
+	env.Spawn("recv", func(p *sim.Proc) {
+		b.Inbox.Recv(p)
+		t1 = p.Now()
+		b.Inbox.Recv(p)
+		t2 = p.Now()
+	})
+	net.Send(a, b, 1_000_000, nil)
+	net.Send(a, b, 1_000_000, nil)
+	env.Run()
+	if t1 < time.Second || t1 > time.Second+time.Millisecond {
+		t.Fatalf("first delivery at %v, want ~1s", t1)
+	}
+	if t2 < 2*time.Second || t2 > 2*time.Second+time.Millisecond {
+		t.Fatalf("second delivery at %v, want ~2s (FIFO queueing)", t2)
+	}
+}
+
+func TestDeliverRoutesToReplyMailbox(t *testing.T) {
+	env, net := newTestNet(t)
+	a := net.NewNode("a", 1, 1)
+	b := net.NewNode("b", 2, 2)
+	reply := sim.NewMailbox[string](env)
+	var got string
+	env.Spawn("caller", func(p *sim.Proc) {
+		Deliver(net, b, a, 64, reply, "pong")
+		got = reply.Recv(p)
+	})
+	env.Run()
+	if got != "pong" {
+		t.Fatalf("got %q, want pong", got)
+	}
+	if _, w := b.NICBytes(); w != 64 {
+		t.Fatalf("reply bytes not accounted: %d", w)
+	}
+}
+
+func TestDiskWriteQueueing(t *testing.T) {
+	env, net := newTestNet(t)
+	n := net.NewNode("n", 1, 1)
+	n.DiskBandwidth = 1e6 // 1 MB/s
+	n.DiskLatency = 0
+	var done time.Duration
+	env.Spawn("writer", func(p *sim.Proc) {
+		n.DiskWrite(p, 500_000)
+		n.DiskWrite(p, 500_000)
+		done = p.Now()
+	})
+	env.Run()
+	if done < time.Second || done > time.Second+time.Millisecond {
+		t.Fatalf("two 0.5MB writes took %v, want ~1s", done)
+	}
+	if _, w := n.DiskBytes(); w != 1_000_000 {
+		t.Fatalf("disk write bytes = %d", w)
+	}
+}
+
+func TestTable1MatrixSymmetryAndDiagonalMinimum(t *testing.T) {
+	topo := USWest1()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if topo.RTT[i][j] != topo.RTT[j][i] {
+				t.Fatalf("RTT[%d][%d] != RTT[%d][%d]", i, j, j, i)
+			}
+			if i != j && topo.RTT[i][j] <= topo.RTT[i][i] {
+				t.Fatalf("cross-AZ RTT[%d][%d]=%v not greater than intra %v",
+					i, j, topo.RTT[i][j], topo.RTT[i][i])
+			}
+		}
+	}
+}
+
+func TestZoneNames(t *testing.T) {
+	topo := USWest1()
+	if topo.ZoneName(ZoneUnset) != "unset" {
+		t.Fatal("unset zone name")
+	}
+	if topo.ZoneName(2) != "us-west1-b" {
+		t.Fatalf("zone 2 = %q", topo.ZoneName(2))
+	}
+}
+
+func TestTravelDeferredMatchesLatency(t *testing.T) {
+	env, net := newTestNet(t)
+	a := net.NewNode("a", 1, 1)
+	b := net.NewNode("b", 2, 2)
+	var pending time.Duration
+	env.Spawn("p", func(p *sim.Proc) {
+		if !net.TravelDeferred(p, a, b, 100, time.Second) {
+			t.Error("deferred travel failed")
+			return
+		}
+		pending = p.Pending()
+	})
+	env.Run()
+	// One-way a->b latency is RTT/2 = 180us plus transmission.
+	if pending < 180*time.Microsecond || pending > 181*time.Microsecond {
+		t.Fatalf("deferred delay %v, want ~180us", pending)
+	}
+	if r, _ := b.NICBytes(); r != 100 {
+		t.Fatalf("deferred travel did not account bytes: %d", r)
+	}
+}
+
+func TestTravelDeferredToDeadNodeDefersTimeout(t *testing.T) {
+	env, net := newTestNet(t)
+	a := net.NewNode("a", 1, 1)
+	b := net.NewNode("b", 2, 2)
+	b.Fail()
+	var ok bool
+	var pending time.Duration
+	env.Spawn("p", func(p *sim.Proc) {
+		ok = net.TravelDeferred(p, a, b, 100, 250*time.Millisecond)
+		pending = p.Pending()
+	})
+	env.Run()
+	if ok {
+		t.Fatal("travel to dead node succeeded")
+	}
+	if pending != 250*time.Millisecond {
+		t.Fatalf("timeout not deferred: %v", pending)
+	}
+	if net.Dropped() != 1 {
+		t.Fatalf("dropped = %d", net.Dropped())
+	}
+}
+
+func TestTravelDeferredPartitioned(t *testing.T) {
+	env, net := newTestNet(t)
+	a := net.NewNode("a", 1, 1)
+	b := net.NewNode("b", 3, 2)
+	net.Partition(1, 3)
+	var ok bool
+	env.Spawn("p", func(p *sim.Proc) {
+		ok = net.TravelDeferred(p, a, b, 10, time.Millisecond)
+	})
+	env.Run()
+	if ok {
+		t.Fatal("travel across partition succeeded")
+	}
+}
+
+func TestTravelDeferredLinkQueueing(t *testing.T) {
+	env := sim.New(7)
+	defer env.Close()
+	topo := USWest1()
+	topo.JitterFrac = 0
+	topo.InterZoneBandwidth = 1e6 // 1 MB/s: 1 MB takes 1 s
+	net := New(env, topo)
+	a := net.NewNode("a", 1, 1)
+	b := net.NewNode("b", 2, 2)
+	var d1, d2 time.Duration
+	env.Spawn("p", func(p *sim.Proc) {
+		net.TravelDeferred(p, a, b, 1_000_000, time.Minute)
+		d1 = p.Pending()
+		p.Flush()
+		// Second transfer starts after the first's horizon in clock frame.
+		net.TravelDeferred(p, a, b, 1_000_000, time.Minute)
+		d2 = p.Pending()
+	})
+	env.Run()
+	if d1 < time.Second || d1 > time.Second+time.Millisecond {
+		t.Fatalf("first deferred transfer %v, want ~1s", d1)
+	}
+	if d2 < time.Second || d2 > time.Second+time.Millisecond {
+		t.Fatalf("second deferred transfer %v, want ~1s after flush", d2)
+	}
+}

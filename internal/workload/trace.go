@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"hopsfscl/internal/sim"
+)
+
+// TraceOp is one recorded file system operation. Dst is only set for
+// renames; Recursive only for deletes.
+type TraceOp struct {
+	Op        Op
+	Path      string
+	Dst       string
+	Recursive bool
+}
+
+// Recorder wraps an FS and records every operation flowing through it, so
+// a workload run can be captured once and replayed against other
+// deployments — the methodology behind the paper's use of the Spotify
+// operational trace.
+type Recorder struct {
+	fs  FS
+	ops []TraceOp
+}
+
+var _ FS = (*Recorder)(nil)
+
+// NewRecorder wraps fs.
+func NewRecorder(fs FS) *Recorder { return &Recorder{fs: fs} }
+
+// Trace returns the recorded operations (shared slice; copy to keep).
+func (r *Recorder) Trace() []TraceOp { return r.ops }
+
+func (r *Recorder) record(op Op, path, dst string, recursive bool) {
+	r.ops = append(r.ops, TraceOp{Op: op, Path: path, Dst: dst, Recursive: recursive})
+}
+
+// Mkdir records and forwards.
+func (r *Recorder) Mkdir(p *sim.Proc, path string) error {
+	r.record(OpMkdir, path, "", false)
+	return r.fs.Mkdir(p, path)
+}
+
+// Create records and forwards.
+func (r *Recorder) Create(p *sim.Proc, path string) error {
+	r.record(OpCreate, path, "", false)
+	return r.fs.Create(p, path)
+}
+
+// Stat records and forwards.
+func (r *Recorder) Stat(p *sim.Proc, path string) error {
+	r.record(OpStat, path, "", false)
+	return r.fs.Stat(p, path)
+}
+
+// Read records and forwards.
+func (r *Recorder) Read(p *sim.Proc, path string) error {
+	r.record(OpRead, path, "", false)
+	return r.fs.Read(p, path)
+}
+
+// List records and forwards.
+func (r *Recorder) List(p *sim.Proc, path string) error {
+	r.record(OpList, path, "", false)
+	return r.fs.List(p, path)
+}
+
+// Delete records and forwards.
+func (r *Recorder) Delete(p *sim.Proc, path string) error {
+	r.record(OpDelete, path, "", false)
+	return r.fs.Delete(p, path)
+}
+
+// Rename records and forwards.
+func (r *Recorder) Rename(p *sim.Proc, src, dst string) error {
+	r.record(OpRename, src, dst, false)
+	return r.fs.Rename(p, src, dst)
+}
+
+// SetPermission records and forwards.
+func (r *Recorder) SetPermission(p *sim.Proc, path string) error {
+	r.record(OpSetPerm, path, "", false)
+	return r.fs.SetPermission(p, path)
+}
+
+// Replay executes a trace against fs, returning how many operations
+// errored (replays on a different deployment may race differently; errors
+// are tolerated, not fatal).
+func Replay(p *sim.Proc, fs FS, trace []TraceOp) (errs int) {
+	for _, op := range trace {
+		var err error
+		switch op.Op {
+		case OpMkdir:
+			err = fs.Mkdir(p, op.Path)
+		case OpCreate:
+			err = fs.Create(p, op.Path)
+		case OpStat:
+			err = fs.Stat(p, op.Path)
+		case OpRead:
+			err = fs.Read(p, op.Path)
+		case OpList:
+			err = fs.List(p, op.Path)
+		case OpDelete:
+			err = fs.Delete(p, op.Path)
+		case OpRename:
+			err = fs.Rename(p, op.Path, op.Dst)
+		case OpSetPerm:
+			err = fs.SetPermission(p, op.Path)
+		}
+		if err != nil {
+			errs++
+		}
+	}
+	return errs
+}
+
+// WriteTrace serializes a trace as one line per operation:
+//
+//	<op> <path> [<dst>]
+func WriteTrace(w io.Writer, trace []TraceOp) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range trace {
+		if op.Dst != "" {
+			fmt.Fprintf(bw, "%s %s %s\n", op.Op, op.Path, op.Dst)
+		} else {
+			fmt.Fprintf(bw, "%s %s\n", op.Op, op.Path)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses the WriteTrace format.
+func ReadTrace(rd io.Reader) ([]TraceOp, error) {
+	names := map[string]Op{}
+	for op := Op(1); op < numOps; op++ {
+		names[op.String()] = op
+	}
+	var out []TraceOp
+	scanner := bufio.NewScanner(rd)
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		op, ok := names[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("workload: trace line %d: unknown op %q", line, fields[0])
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("workload: trace line %d: missing path", line)
+		}
+		t := TraceOp{Op: op, Path: fields[1]}
+		if op == OpRename {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("workload: trace line %d: rename needs a destination", line)
+			}
+			t.Dst = fields[2]
+		}
+		out = append(out, t)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

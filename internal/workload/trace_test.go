@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"hopsfscl/internal/sim"
+)
+
+func TestRecorderCapturesEveryOp(t *testing.T) {
+	env := sim.New(1)
+	defer env.Close()
+	inner := newFakeFS()
+	rec := NewRecorder(inner)
+	env.Spawn("driver", func(p *sim.Proc) {
+		_ = rec.Mkdir(p, "/d")
+		_ = rec.Create(p, "/d/f")
+		_ = rec.Stat(p, "/d/f")
+		_ = rec.Read(p, "/d/f")
+		_ = rec.List(p, "/d")
+		_ = rec.Rename(p, "/d/f", "/d/g")
+		_ = rec.SetPermission(p, "/d/g")
+		_ = rec.Delete(p, "/d/g")
+	})
+	env.Run()
+	trace := rec.Trace()
+	if len(trace) != 8 {
+		t.Fatalf("recorded %d ops, want 8", len(trace))
+	}
+	if trace[5].Op != OpRename || trace[5].Dst != "/d/g" {
+		t.Fatalf("rename recorded as %+v", trace[5])
+	}
+	// The inner FS saw everything too.
+	if inner.calls["mkdir"] != 1 || inner.calls["delete"] != 1 {
+		t.Fatalf("inner calls: %v", inner.calls)
+	}
+}
+
+func TestTraceRoundTripAndReplay(t *testing.T) {
+	trace := []TraceOp{
+		{Op: OpMkdir, Path: "/a"},
+		{Op: OpCreate, Path: "/a/f"},
+		{Op: OpRename, Path: "/a/f", Dst: "/a/g"},
+		{Op: OpStat, Path: "/a/g"},
+		{Op: OpDelete, Path: "/a/g"},
+	}
+	var buf strings.Builder
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(trace) {
+		t.Fatalf("parsed %d ops, want %d", len(parsed), len(trace))
+	}
+	for i := range trace {
+		if parsed[i] != trace[i] {
+			t.Fatalf("op %d: %+v != %+v", i, parsed[i], trace[i])
+		}
+	}
+
+	env := sim.New(1)
+	defer env.Close()
+	fs := newFakeFS()
+	var errs int
+	env.Spawn("replay", func(p *sim.Proc) { errs = Replay(p, fs, parsed) })
+	env.Run()
+	if errs != 0 {
+		t.Fatalf("replay errors: %d", errs)
+	}
+	if fs.calls["mkdir"] != 1 || fs.calls["rename"] != 1 || fs.calls["delete"] != 1 {
+		t.Fatalf("replayed calls: %v", fs.calls)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"fly /a",
+		"mkdir",
+		"rename /a",
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("trace %q accepted", c)
+		}
+	}
+	// Comments and blanks are fine.
+	got, err := ReadTrace(strings.NewReader("# header\n\nmkdir /a\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("comment handling: %v %v", got, err)
+	}
+}
