@@ -7,9 +7,11 @@
 //	    Generate a Spotify-mix trace over the evaluation namespace and
 //	    write it (one operation per line) to the file or stdout.
 //
-//	hopstrace replay [-setup name] [-seed S] [-in file]
+//	hopstrace replay [-setup name] [-seed S] [-in file] [-trace] [-deadline D]
 //	    Replay a trace file against a deployment and report virtual
-//	    throughput, latency, and cross-AZ traffic.
+//	    throughput, latency, and cross-AZ traffic. With -trace, capture
+//	    detailed spans and print the 2PC phase breakdown plus the slowest
+//	    operations as flame-style span trees.
 //
 // The trace format is plain text: "<op> <path> [<dst>]", e.g.
 //
@@ -25,6 +27,7 @@ import (
 	"os"
 	"time"
 
+	"hopsfscl/internal/bench"
 	"hopsfscl/internal/core"
 	"hopsfscl/internal/metrics"
 	"hopsfscl/internal/sim"
@@ -100,6 +103,9 @@ func runReplay(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	in := fs.String("in", "", "trace file (default stdin)")
 	servers := fs.Int("servers", 6, "metadata servers")
+	deadline := fs.Duration("deadline", 1000*time.Second, "virtual-time budget for the replay")
+	withTrace := fs.Bool("trace", false, "capture detailed spans; print phase breakdown and slowest operations")
+	slowest := fs.Int("slowest", 10, "slowest spans to print with -trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,6 +135,10 @@ func runReplay(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer d.Close()
+	sink := d.Tracer.Sink()
+	if *withTrace {
+		sink = d.EnableTracing(len(trace))
+	}
 
 	var (
 		errs    int
@@ -142,11 +152,15 @@ func runReplay(args []string, stdout io.Writer) error {
 		elapsed = p.Now() - t0
 		done = true
 	})
-	for i := 0; !done && i < 10000; i++ {
-		d.Env.RunFor(100 * time.Millisecond)
+	for !done && d.Env.Now() < *deadline {
+		step := 100 * time.Millisecond
+		if rem := *deadline - d.Env.Now(); rem < step {
+			step = rem
+		}
+		d.Env.RunFor(step)
 	}
 	if !done {
-		return fmt.Errorf("replay did not complete")
+		return fmt.Errorf("replay did not complete within -deadline %v of virtual time", *deadline)
 	}
 	rate := float64(len(trace)) / elapsed.Seconds()
 	fmt.Fprintf(stdout, "replayed %d operations on %s in %v (virtual)\n", len(trace), setup.Name, elapsed.Round(time.Millisecond))
@@ -154,6 +168,16 @@ func runReplay(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "cross-AZ traffic: %.2f MB\n", float64(d.Net.CrossZoneBytes())/1e6)
 	// Mirror hopsbench: note the bench package is the place for load tests.
 	fmt.Fprintln(stdout, "(replay is sequential; use hopsbench for closed-loop load)")
+
+	if *withTrace {
+		samples := d.Registry.Snapshot()
+		fmt.Fprintf(stdout, "\ntransaction phase latency:\n%s", bench.RenderPhaseTable(samples))
+		fmt.Fprintf(stdout, "\ncross-AZ bytes per operation type:\n%s", bench.RenderCrossAZTable(samples))
+		fmt.Fprintf(stdout, "\nslowest %d operations (of %d traced):\n", *slowest, sink.Total())
+		for _, sp := range sink.Slowest(*slowest) {
+			fmt.Fprintln(stdout, sp.Render())
+		}
+	}
 	return nil
 }
 

@@ -165,10 +165,10 @@ func TestSetupsAndExperimentsListed(t *testing.T) {
 		t.Fatalf("setups = %d, want 9", got)
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 14 {
-		t.Fatalf("experiments = %d, want 14", len(ids))
+	if len(ids) != 15 {
+		t.Fatalf("experiments = %d, want 15", len(ids))
 	}
-	want := map[string]bool{"table1": true, "table2": true, "fig5": true, "fig14": true, "failures": true}
+	want := map[string]bool{"table1": true, "table2": true, "fig5": true, "fig14": true, "failures": true, "phases": true}
 	for _, id := range ids {
 		delete(want, id)
 	}

@@ -11,6 +11,7 @@ import (
 	"hopsfscl/internal/ndb"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
+	"hopsfscl/internal/trace"
 	"hopsfscl/internal/workload"
 )
 
@@ -80,6 +81,7 @@ var Experiments = []Experiment{
 	{ID: "fig14", Title: "Figure 14: AZ-local reads with/without Read Backup", Run: Fig14},
 	{ID: "failures", Title: "Section V-F: failure drills (AZ loss, split brain, NN loss)", Run: Failures},
 	{ID: "ablations", Title: "Design-choice ablations: Read Backup, batching, block backend", Run: Ablations},
+	{ID: "phases", Title: "Trace registry: 2PC phase latency and cross-AZ bytes per operation", Run: Phases},
 }
 
 // ExperimentByID finds an experiment.
@@ -728,5 +730,92 @@ func Ablations(o ExpOptions) (string, error) {
 		tblC.AddRow(name, fmtMS(wrote), fmtMS(read), fmt.Sprintf("%.0f", crossAZ))
 	}
 	b.WriteString(tblC.String())
+	return b.String(), nil
+}
+
+// TraceOps are the client operation names that appear as root spans, in
+// reporting order.
+var TraceOps = []string{
+	"stat", "read", "list", "create", "mkdir", "delete", "rename",
+	"setPermission", "setOwner", "attachBlocks", "contentSummary",
+}
+
+// RenderPhaseTable formats the transaction-phase breakdown of a registry
+// snapshot (or window diff): count, mean and max time spent in lock waits
+// and in each linear-2PC phase.
+func RenderPhaseTable(samples []trace.Sample) string {
+	rows := []struct{ label, name string }{
+		{"lock_wait", "txn.lock_wait"},
+		{"prepare", "txn.phase.prepare"},
+		{"commit", "txn.phase.commit"},
+		{"complete", "txn.phase.complete"},
+	}
+	tbl := metrics.NewTable("phase", "count", "mean", "max")
+	for _, r := range rows {
+		count, _ := trace.Lookup(samples, r.name+".count")
+		sum, _ := trace.Lookup(samples, r.name+".sum_ns")
+		maxNS, _ := trace.Lookup(samples, r.name+".max_ns")
+		mean := time.Duration(0)
+		if count > 0 {
+			mean = time.Duration(sum / count)
+		}
+		tbl.AddRow(r.label, fmt.Sprintf("%.0f", count), fmtMS(mean), fmtMS(time.Duration(maxNS)))
+	}
+	if acq, ok := trace.Lookup(samples, "txn.lock.acquisitions"); ok && acq > 0 {
+		waits, _ := trace.Lookup(samples, "txn.lock_wait.count")
+		return tbl.String() + fmt.Sprintf("lock acquisitions: %.0f (%.1f%% contended)\n",
+			acq, waits/acq*100)
+	}
+	return tbl.String()
+}
+
+// RenderCrossAZTable formats cross-AZ network bytes attributed to each
+// operation type. Bytes recorded outside any client span (elections,
+// heartbeats, failure detection, replication housekeeping) show up as the
+// "unattributed" row, so columns always reconcile with the global counter.
+func RenderCrossAZTable(samples []trace.Sample) string {
+	tbl := metrics.NewTable("operation", "ops", "cross-AZ bytes", "bytes/op")
+	var attributed float64
+	for _, op := range TraceOps {
+		ops, _ := trace.Lookup(samples, "op."+op+".latency.count")
+		bytes, _ := trace.Lookup(samples, trace.Name("op."+op+".net.bytes", "class", "cross_az"))
+		if ops == 0 && bytes == 0 {
+			continue
+		}
+		attributed += bytes
+		perOp := "-"
+		if ops > 0 {
+			perOp = fmt.Sprintf("%.0f", bytes/ops)
+		}
+		tbl.AddRow(op, fmt.Sprintf("%.0f", ops), fmt.Sprintf("%.0f", bytes), perOp)
+	}
+	total, _ := trace.Lookup(samples, trace.Name("net.bytes", "class", "cross_az"))
+	if rest := total - attributed; rest > 0.5 {
+		tbl.AddRow("unattributed", "-", fmt.Sprintf("%.0f", rest), "-")
+	}
+	tbl.AddRow("total", "-", fmt.Sprintf("%.0f", total), "-")
+	return tbl.String()
+}
+
+// Phases drills into the cluster-wide trace registry on HopsFS (3,3) vs
+// HopsFS-CL (3,3): time spent per linear-2PC phase and in lock waits, and
+// cross-AZ network bytes attributed to each operation type — the per-op
+// decomposition behind §V-E's aggregate cross-AZ rates.
+func Phases(o ExpOptions) (string, error) {
+	setups := []core.Setup{core.PaperSetups[3], core.PaperSetups[5]}
+	var b strings.Builder
+	for i, setup := range setups {
+		res, err := Measure(setup, 12, o.ClientsPerServer, runConfigFor(o), o.Seed)
+		if err != nil {
+			return "", err
+		}
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s — 12 metadata servers, Spotify workload, %s window\n",
+			setup.Name, res.Window)
+		fmt.Fprintf(&b, "\ntransaction phase latency:\n%s", RenderPhaseTable(res.Registry))
+		fmt.Fprintf(&b, "\ncross-AZ bytes per operation type:\n%s", RenderCrossAZTable(res.Registry))
+	}
 	return b.String(), nil
 }

@@ -14,6 +14,7 @@ import (
 	"hopsfscl/internal/metrics"
 	"hopsfscl/internal/ndb"
 	"hopsfscl/internal/sim"
+	"hopsfscl/internal/trace"
 	"hopsfscl/internal/workload"
 )
 
@@ -101,6 +102,11 @@ type Result struct {
 	// ReadSlots is the per-partition replica read split of the inode
 	// table (HopsFS only) — Fig 14.
 	ReadSlots []PartitionReads
+
+	// Registry is the deployment registry delta over the measurement
+	// window: per-op latency/error/byte counters, 2PC phase timings, lock
+	// waits, TC-selection proximity, per-class network traffic.
+	Registry []trace.Sample
 }
 
 // HomeDirsPerClient is the dataset-locality width of one benchmark client
@@ -177,6 +183,7 @@ func Run(d *core.Deployment, cfg RunConfig) *Result {
 	crossZone0 := d.Net.CrossZoneBytes()
 	serverReqs0 := sumInt64(d.ServerRequests())
 	readSlots0 := readSlotSnapshot(d)
+	reg0 := d.Registry.Snapshot()
 
 	measuring = true
 	env.RunFor(cfg.Window)
@@ -222,6 +229,7 @@ func Run(d *core.Deployment, cfg RunConfig) *Result {
 	}
 	res.CrossZoneRate = float64(d.Net.CrossZoneBytes()-crossZone0) / win
 	res.ReadSlots = diffReadSlots(readSlotSnapshot(d), readSlots0)
+	res.Registry = trace.Diff(reg0, d.Registry.Snapshot())
 	return res
 }
 

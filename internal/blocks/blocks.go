@@ -12,11 +12,13 @@ package blocks
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"hopsfscl/internal/objstore"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
+	"hopsfscl/internal/trace"
 )
 
 // Errors reported by the block layer.
@@ -126,6 +128,10 @@ type Manager struct {
 
 	// ReReplications counts blocks copied by the monitor.
 	ReReplications int64
+
+	// reg, when attached, counts placement decisions per availability zone
+	// under blocks.placed{zone=N}.
+	reg *trace.Registry
 }
 
 // Placement locates one block datanode.
@@ -157,6 +163,21 @@ func NewManager(env *sim.Env, net *simnet.Network, cfg Config, placements []Plac
 // SetLeaderCheck wires the metadata layer's leader election: the monitor
 // only acts while the check returns true.
 func (m *Manager) SetLeaderCheck(f func() bool) { m.leaderAlive = f }
+
+// SetRegistry attaches a metrics registry: every placement decision is
+// counted per target availability zone. A nil registry detaches.
+func (m *Manager) SetRegistry(reg *trace.Registry) { m.reg = reg }
+
+// countPlacements records the chosen targets' zones in the registry.
+// Placements are rare (one per new block), so the lazy lookup is fine.
+func (m *Manager) countPlacements(targets []*DataNode) {
+	if m.reg == nil {
+		return
+	}
+	for _, dn := range targets {
+		m.reg.Counter("blocks.placed", "zone", strconv.Itoa(int(dn.Node.Zone()))).Add(1)
+	}
+}
 
 // UseObjectStore switches the manager to the cloud object store backend:
 // WriteBlock PUTs one object per block, ReadBlock GETs it from the
@@ -202,6 +223,7 @@ func (m *Manager) Place(clientZone simnet.ZoneID, n int) ([]*DataNode, error) {
 	}
 	if !m.cfg.AZAware {
 		m.shuffle(live)
+		m.countPlacements(live[:n])
 		return live[:n], nil
 	}
 	byZone := make(map[simnet.ZoneID][]*DataNode)
@@ -245,6 +267,7 @@ func (m *Manager) Place(clientZone simnet.ZoneID, n int) ([]*DataNode, error) {
 			return nil, ErrNoDatanodes
 		}
 	}
+	m.countPlacements(out)
 	return out, nil
 }
 

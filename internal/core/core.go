@@ -16,6 +16,7 @@ import (
 	"hopsfscl/internal/objstore"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
+	"hopsfscl/internal/trace"
 	"hopsfscl/internal/workload"
 )
 
@@ -127,6 +128,12 @@ type Deployment struct {
 	Opts  Options
 	Setup Setup
 
+	// Registry aggregates cluster-wide counters and timings; Tracer owns it
+	// and mints per-operation spans. Both are always live (cheap, pre-registered
+	// handles); the detailed span sink is off until EnableTracing.
+	Registry *trace.Registry
+	Tracer   *trace.Tracer
+
 	// HopsFS/HopsFS-CL components (nil for CephFS).
 	DB     *ndb.Cluster
 	NS     *namenode.Namesystem
@@ -171,7 +178,13 @@ func Build(opts Options) (*Deployment, error) {
 	}
 	env := sim.New(opts.Seed)
 	net := simnet.New(env, simnet.USWest1())
-	d := &Deployment{Env: env, Net: net, Opts: opts, Setup: opts.Setup, hostSeq: 1000}
+	reg := trace.NewRegistry()
+	net.SetRegistry(reg)
+	d := &Deployment{
+		Env: env, Net: net, Opts: opts, Setup: opts.Setup,
+		Registry: reg, Tracer: trace.NewTracer(reg),
+		hostSeq: 1000,
+	}
 	d.Namespace = workload.BuildNamespace(opts.Namespace, NamespaceSeed(opts.Seed))
 
 	var err error
@@ -221,6 +234,7 @@ func (d *Deployment) buildHops() error {
 	if err != nil {
 		return err
 	}
+	db.SetTracer(d.Tracer)
 	d.DB = db
 
 	if opts.WithBlockLayer {
@@ -238,6 +252,7 @@ func (d *Deployment) buildHops() error {
 			pls = append(pls, blocks.Placement{Zone: zones[i%len(zones)], Host: d.nextHost()})
 		}
 		d.Blocks = blocks.NewManager(d.Env, d.Net, bCfg, pls)
+		d.Blocks.SetRegistry(d.Registry)
 		if opts.ObjectStoreBlocks {
 			hosts := make([]simnet.ZoneID, len(zones))
 			copy(hosts, zones)
@@ -252,6 +267,7 @@ func (d *Deployment) buildHops() error {
 	// Figure 14 ablation explicitly disables it.
 	nnCfg.ReadBackup = aware && !opts.DisableReadBackup
 	ns := namenode.NewNamesystem(db, d.Blocks, nnCfg)
+	ns.SetTracer(d.Tracer)
 	d.NS = ns
 
 	domainOf := func(z simnet.ZoneID) simnet.ZoneID {
@@ -310,6 +326,15 @@ func (d *Deployment) buildCeph() error {
 		d.Clients = append(d.Clients, cephAdapter{cl: cl})
 	}
 	return nil
+}
+
+// EnableTracing turns on detailed span capture: every client operation
+// records a full span tree (2PC phases, lock waits, retries, per-hop
+// network classes) into a bounded ring sink of the given capacity
+// (capacity <= 0 selects the default). The aggregate Registry is always
+// on regardless; this only affects the per-span detail.
+func (d *Deployment) EnableTracing(capacity int) *trace.Sink {
+	return d.Tracer.EnableSink(capacity)
 }
 
 // StopBackground halts housekeeping processes so Env.Run can quiesce.

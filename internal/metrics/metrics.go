@@ -22,7 +22,13 @@ type Histogram struct {
 	sum     time.Duration
 	max     time.Duration
 	cap     int
+	seed    int64
 	rng     *rand.Rand
+
+	// sorted caches the sorted view for repeated percentile queries
+	// (harnesses ask for p50/p90/p99 back to back); Observe invalidates it.
+	sorted      []time.Duration
+	sortedValid bool
 }
 
 // NewHistogram returns a histogram keeping at most capSamples samples
@@ -32,8 +38,9 @@ func NewHistogram(capSamples int, seed int64) *Histogram {
 		capSamples = 64 << 10
 	}
 	return &Histogram{
-		cap: capSamples,
-		rng: rand.New(rand.NewSource(seed)),
+		cap:  capSamples,
+		seed: seed,
+		rng:  rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -41,6 +48,7 @@ func NewHistogram(capSamples int, seed int64) *Histogram {
 func (h *Histogram) Observe(d time.Duration) {
 	h.count++
 	h.sum += d
+	h.sortedValid = false
 	if d > h.max {
 		h.max = d
 	}
@@ -73,9 +81,12 @@ func (h *Histogram) Percentile(q float64) time.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	s := make([]time.Duration, len(h.samples))
-	copy(s, h.samples)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if !h.sortedValid {
+		h.sorted = append(h.sorted[:0], h.samples...)
+		sort.Slice(h.sorted, func(i, j int) bool { return h.sorted[i] < h.sorted[j] })
+		h.sortedValid = true
+	}
+	s := h.sorted
 	idx := int(q*float64(len(s))) - 1
 	if idx < 0 {
 		idx = 0
@@ -86,12 +97,16 @@ func (h *Histogram) Percentile(q float64) time.Duration {
 	return s[idx]
 }
 
-// Reset clears all state.
+// Reset clears all state, including the sampling RNG: a reset histogram
+// behaves identically to a freshly constructed one, so reset-and-reuse
+// runs stay reproducible.
 func (h *Histogram) Reset() {
 	h.samples = h.samples[:0]
 	h.count = 0
 	h.sum = 0
 	h.max = 0
+	h.sortedValid = false
+	h.rng = rand.New(rand.NewSource(h.seed))
 }
 
 // UtilWindow measures average utilization of a set of resources over a

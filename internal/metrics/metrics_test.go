@@ -57,6 +57,53 @@ func TestHistogramReset(t *testing.T) {
 	}
 }
 
+func TestHistogramResetReseedsRNG(t *testing.T) {
+	// A reset histogram must replay the exact reservoir decisions of a
+	// fresh one with the same seed; otherwise reset-and-reuse runs diverge.
+	reset := NewHistogram(32, 7)
+	for i := 0; i < 500; i++ {
+		reset.Observe(time.Duration(i) * time.Microsecond)
+	}
+	reset.Reset()
+	fresh := NewHistogram(32, 7)
+	for i := 0; i < 500; i++ {
+		d := time.Duration(i) * time.Millisecond
+		reset.Observe(d)
+		fresh.Observe(d)
+	}
+	if len(reset.samples) != len(fresh.samples) {
+		t.Fatalf("sample counts diverged: %d vs %d", len(reset.samples), len(fresh.samples))
+	}
+	for i := range fresh.samples {
+		if reset.samples[i] != fresh.samples[i] {
+			t.Fatalf("reservoirs diverged at %d: %v vs %v", i, reset.samples[i], fresh.samples[i])
+		}
+	}
+}
+
+func TestHistogramPercentileCacheInvalidation(t *testing.T) {
+	h := NewHistogram(1000, 1)
+	for i := 1; i <= 10; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Percentile(1.0); got != 10*time.Millisecond {
+		t.Fatalf("p100 = %v, want 10ms", got)
+	}
+	// A later observation must be visible to the next query even though a
+	// sorted view was already cached.
+	h.Observe(time.Second)
+	if got := h.Percentile(1.0); got != time.Second {
+		t.Fatalf("p100 after new max = %v, want 1s", got)
+	}
+	if got := h.Percentile(0.5); got != 5*time.Millisecond {
+		t.Fatalf("p50 = %v, want 5ms", got)
+	}
+	h.Reset()
+	if got := h.Percentile(0.5); got != 0 {
+		t.Fatalf("p50 after reset = %v, want 0", got)
+	}
+}
+
 func TestUtilWindow(t *testing.T) {
 	env := sim.New(1)
 	defer env.Close()

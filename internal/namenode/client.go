@@ -7,6 +7,7 @@ import (
 	"hopsfscl/internal/blocks"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
+	"hopsfscl/internal/trace"
 )
 
 // Wire sizes for client-NN RPCs.
@@ -29,6 +30,11 @@ type Client struct {
 	// Ops and LatencySum feed the benchmark harness.
 	Ops        int64
 	LatencySum time.Duration
+
+	// span is the reusable root-span buffer for aggregate-mode tracing:
+	// a client runs one operation at a time, so StartOpInto can overwrite
+	// it per call instead of allocating.
+	span trace.Span
 }
 
 // NewClient registers a client in the given zone. domain is its
@@ -110,16 +116,36 @@ func (cl *Client) travel(p *sim.Proc, from, to *simnet.Node, size int) bool {
 }
 
 // do runs one metadata RPC against the client's server, switching to a
-// surviving server when the current one fails mid-call.
-func (cl *Client) do(p *sim.Proc, reqExtra, respExtra int, fn func(nn *NameNode) error) error {
-	return cl.doSized(p, reqExtra, func(nn *NameNode) (int, error) {
+// surviving server when the current one fails mid-call. op names the
+// operation for the trace layer ("stat", "mkdir", ...): each call emits
+// exactly one root span under that name.
+func (cl *Client) do(p *sim.Proc, op string, reqExtra, respExtra int, fn func(nn *NameNode) error) error {
+	return cl.doSized(p, op, reqExtra, func(nn *NameNode) (int, error) {
 		return respExtra, fn(nn)
 	})
 }
 
 // doSized is do with a response payload size determined by the handler
 // (e.g. inline file bytes riding the reply).
-func (cl *Client) doSized(p *sim.Proc, reqExtra int, fn func(nn *NameNode) (int, error)) error {
+func (cl *Client) doSized(p *sim.Proc, op string, reqExtra int, fn func(nn *NameNode) (int, error)) error {
+	sp := cl.ns.tracer.StartOpInto(&cl.span, op, p.EffNow())
+	var prev *trace.Span
+	if sp != nil {
+		prev = p.SetSpan(sp)
+	}
+	err := cl.rpc(p, reqExtra, fn)
+	if sp != nil {
+		p.SetSpan(prev)
+		if err != nil {
+			sp.SetError()
+		}
+		sp.Finish(p.EffNow())
+	}
+	return err
+}
+
+// rpc is the uninstrumented RPC retry loop shared by all operations.
+func (cl *Client) rpc(p *sim.Proc, reqExtra int, fn func(nn *NameNode) (int, error)) error {
 	start := p.Now()
 	for attempt := 0; attempt < 4; attempt++ {
 		nn, err := cl.pick(p)
@@ -161,7 +187,7 @@ func (cl *Client) Exists(p *sim.Proc, path string) (bool, error) {
 // count, and total logical bytes (the HDFS getContentSummary operation,
 // implemented as recursive partition-pruned scans in one transaction).
 func (cl *Client) Du(p *sim.Proc, path string) (files, dirs int, bytes int64, err error) {
-	err = cl.do(p, 0, 0, func(nn *NameNode) error {
+	err = cl.do(p, "contentSummary", 0, 0, func(nn *NameNode) error {
 		var ierr error
 		files, dirs, bytes, ierr = nn.ContentSummary(p, path)
 		return ierr
@@ -171,7 +197,7 @@ func (cl *Client) Du(p *sim.Proc, path string) (files, dirs int, bytes int64, er
 
 // Mkdir creates a directory.
 func (cl *Client) Mkdir(p *sim.Proc, path string) error {
-	return cl.do(p, 0, 0, func(nn *NameNode) error { return nn.Mkdir(p, path, 0o755) })
+	return cl.do(p, "mkdir", 0, 0, func(nn *NameNode) error { return nn.Mkdir(p, path, 0o755) })
 }
 
 // MkdirAll creates a directory and any missing ancestors.
@@ -192,7 +218,7 @@ func (cl *Client) MkdirAll(p *sim.Proc, path string) error {
 
 // Create creates an empty or small file (metadata-only operation).
 func (cl *Client) Create(p *sim.Proc, path string, size int64) error {
-	return cl.do(p, int(size), 0, func(nn *NameNode) error {
+	return cl.do(p, "create", int(size), 0, func(nn *NameNode) error {
 		_, err := nn.Create(p, path, size)
 		return err
 	})
@@ -220,7 +246,7 @@ func (cl *Client) WriteFile(p *sim.Proc, path string, size int64) error {
 		ids = append(ids, b.ID)
 		remaining -= sz
 	}
-	return cl.do(p, 0, 0, func(nn *NameNode) error {
+	return cl.do(p, "attachBlocks", 0, 0, func(nn *NameNode) error {
 		return nn.AttachBlocks(p, path, ids, size)
 	})
 }
@@ -231,7 +257,7 @@ func (cl *Client) WriteFile(p *sim.Proc, path string, size int64) error {
 // that leg of the wire.
 func (cl *Client) ReadFile(p *sim.Proc, path string) (*Inode, error) {
 	var ino *Inode
-	err := cl.doSized(p, 0, func(nn *NameNode) (int, error) {
+	err := cl.doSized(p, "read", 0, func(nn *NameNode) (int, error) {
 		got, err := nn.GetBlockLocations(p, path)
 		if err != nil {
 			return 0, err
@@ -255,7 +281,7 @@ func (cl *Client) ReadFile(p *sim.Proc, path string) (*Inode, error) {
 // Stat returns metadata for a path.
 func (cl *Client) Stat(p *sim.Proc, path string) (*Inode, error) {
 	var out *Inode
-	err := cl.do(p, 0, 0, func(nn *NameNode) error {
+	err := cl.do(p, "stat", 0, 0, func(nn *NameNode) error {
 		got, err := nn.Stat(p, path)
 		if err != nil {
 			return err
@@ -269,7 +295,7 @@ func (cl *Client) Stat(p *sim.Proc, path string) (*Inode, error) {
 // List returns a directory's children.
 func (cl *Client) List(p *sim.Proc, path string) ([]*Inode, error) {
 	var out []*Inode
-	err := cl.do(p, 0, 0, func(nn *NameNode) error {
+	err := cl.do(p, "list", 0, 0, func(nn *NameNode) error {
 		got, err := nn.List(p, path)
 		if err != nil {
 			return err
@@ -284,7 +310,7 @@ func (cl *Client) List(p *sim.Proc, path string) ([]*Inode, error) {
 // transaction commits.
 func (cl *Client) Delete(p *sim.Proc, path string, recursive bool) error {
 	var freed []blocks.BlockID
-	err := cl.do(p, 0, 0, func(nn *NameNode) error {
+	err := cl.do(p, "delete", 0, 0, func(nn *NameNode) error {
 		got, err := nn.Delete(p, path, recursive)
 		if err != nil {
 			return err
@@ -305,15 +331,15 @@ func (cl *Client) Delete(p *sim.Proc, path string, recursive bool) error {
 
 // Rename atomically moves src to dst.
 func (cl *Client) Rename(p *sim.Proc, src, dst string) error {
-	return cl.do(p, 0, 0, func(nn *NameNode) error { return nn.Rename(p, src, dst) })
+	return cl.do(p, "rename", 0, 0, func(nn *NameNode) error { return nn.Rename(p, src, dst) })
 }
 
 // SetPermission updates mode bits.
 func (cl *Client) SetPermission(p *sim.Proc, path string, perm uint16) error {
-	return cl.do(p, 0, 0, func(nn *NameNode) error { return nn.SetPermission(p, path, perm) })
+	return cl.do(p, "setPermission", 0, 0, func(nn *NameNode) error { return nn.SetPermission(p, path, perm) })
 }
 
 // SetOwner updates ownership.
 func (cl *Client) SetOwner(p *sim.Proc, path, owner string) error {
-	return cl.do(p, 0, 0, func(nn *NameNode) error { return nn.SetOwner(p, path, owner) })
+	return cl.do(p, "setOwner", 0, 0, func(nn *NameNode) error { return nn.SetOwner(p, path, owner) })
 }

@@ -134,6 +134,7 @@ func (nn *NameNode) Mkdir(p *sim.Proc, path string, perm uint16) error {
 	}
 	nn.charge(p, len(comps))
 	nn.Ops++
+	nn.annotate(p, path)
 	return nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
 		parent, name, err := nn.resolveParent(tx, comps)
 		if err != nil {
@@ -177,6 +178,7 @@ func (nn *NameNode) Create(p *sim.Proc, path string, size int64) (*Inode, error)
 	}
 	nn.charge(p, len(comps))
 	nn.Ops++
+	nn.annotate(p, path)
 	var created *Inode
 	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
 		parent, name, err := nn.resolveParent(tx, comps)
@@ -220,6 +222,7 @@ func (nn *NameNode) Stat(p *sim.Proc, path string) (*Inode, error) {
 	}
 	nn.charge(p, len(comps))
 	nn.Ops++
+	nn.annotate(p, path)
 	var out *Inode
 	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
 		chain, err := nn.resolveChain(tx, comps)
@@ -245,6 +248,7 @@ func (nn *NameNode) GetBlockLocations(p *sim.Proc, path string) (*Inode, error) 
 	}
 	nn.charge(p, len(comps))
 	nn.Ops++
+	nn.annotate(p, path)
 	var out *Inode
 	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
 		parent, name, err := nn.resolveParent(tx, comps)
@@ -273,6 +277,7 @@ func (nn *NameNode) List(p *sim.Proc, path string) ([]*Inode, error) {
 	}
 	nn.charge(p, len(comps))
 	nn.Ops++
+	nn.annotate(p, path)
 	var out []*Inode
 	err = nn.runTxn(p, nn.hintFor(append(comps, "")), func(tx *ndb.Txn) error {
 		out = out[:0]
@@ -327,6 +332,7 @@ func (nn *NameNode) Delete(p *sim.Proc, path string, recursive bool) ([]blocks.B
 	}
 	nn.charge(p, len(comps))
 	nn.Ops++
+	nn.annotate(p, path)
 	var freed []blocks.BlockID
 	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
 		freed = freed[:0]
@@ -394,6 +400,8 @@ func (nn *NameNode) Rename(p *sim.Proc, src, dst string) error {
 	}
 	nn.charge(p, len(srcComps)+len(dstComps))
 	nn.Ops++
+	nn.annotate(p, src)
+	p.Span().SetAttr("dst", dst)
 	return nn.runTxn(p, nn.hintFor(srcComps), func(tx *ndb.Txn) error {
 		srcParent, srcName, err := nn.resolveParent(tx, srcComps)
 		if err != nil {
@@ -487,6 +495,7 @@ func (nn *NameNode) updateInode(p *sim.Proc, path string, mutate func(*Inode)) e
 	}
 	nn.charge(p, len(comps))
 	nn.Ops++
+	nn.annotate(p, path)
 	return nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
 		parent, name, err := nn.resolveParent(tx, comps)
 		if err != nil {
@@ -514,6 +523,7 @@ func (nn *NameNode) ContentSummary(p *sim.Proc, path string) (files, dirs int, s
 	}
 	nn.charge(p, len(comps))
 	nn.Ops++
+	nn.annotate(p, path)
 	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
 		files, dirs, size = 0, 0, 0
 		chain, cerr := nn.resolveChain(tx, comps)

@@ -19,6 +19,7 @@ import (
 	"hopsfscl/internal/ndb"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
+	"hopsfscl/internal/trace"
 )
 
 // File system errors.
@@ -125,7 +126,18 @@ type Namesystem struct {
 	nns    []*NameNode
 	idSeq  uint64
 	bgStop bool
+
+	// tracer is the deployment's trace layer; nil when uninstrumented.
+	tracer *trace.Tracer
 }
+
+// SetTracer attaches the namesystem to a deployment's tracer: every client
+// operation gets a root span, every transaction attempt a child span. A nil
+// tracer detaches.
+func (ns *Namesystem) SetTracer(tr *trace.Tracer) { ns.tracer = tr }
+
+// Tracer returns the attached tracer (nil when uninstrumented).
+func (ns *Namesystem) Tracer() *trace.Tracer { return ns.tracer }
 
 // NewNamesystem creates the metadata schema on db and seeds the root
 // directory. blockMgr may be nil if only metadata operations are exercised
@@ -345,20 +357,37 @@ func retriable(err error) bool {
 
 // runTxn executes fn in a transaction with the given partition-key hint,
 // retrying aborted transactions with exponential backoff — the paper's
-// retry mechanism providing backpressure to NDB (§II-B2).
+// retry mechanism providing backpressure to NDB (§II-B2). In detailed
+// tracing mode each attempt becomes a "txn" child span of the operation's
+// root span, carrying the TC-selection attributes set by ndb.Begin.
 func (nn *NameNode) runTxn(p *sim.Proc, hint string, fn func(tx *ndb.Txn) error) error {
+	attemptTxn := func() error {
+		tx, err := nn.ns.db.Begin(p, nn.Node, nn.Domain, nn.ns.inodes, hint)
+		if err != nil {
+			return err
+		}
+		if err := fn(tx); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	}
 	backoff := nn.ns.cfg.RetryBackoff
 	for attempt := 0; attempt <= nn.ns.cfg.RetryMax; attempt++ {
-		tx, err := nn.ns.db.Begin(p, nn.Node, nn.Domain, nn.ns.inodes, hint)
-		if err == nil {
-			err = fn(tx)
-			if err == nil {
-				if err = tx.Commit(); err == nil {
-					return nil
-				}
-			} else {
-				tx.Abort()
+		var err error
+		if ts := p.Span().Child("txn", p.EffNow()); ts != nil {
+			if attempt > 0 {
+				ts.SetAttr("retry", strconv.Itoa(attempt))
 			}
+			prev := p.SetSpan(ts)
+			err = attemptTxn()
+			ts.Finish(p.EffNow())
+			p.SetSpan(prev)
+		} else {
+			err = attemptTxn()
+		}
+		if err == nil {
+			return nil
 		}
 		if !retriable(err) {
 			return err
@@ -370,4 +399,13 @@ func (nn *NameNode) runTxn(p *sim.Proc, hint string, fn func(tx *ndb.Txn) error)
 		}
 	}
 	return ErrRetriesExhausted
+}
+
+// annotate tags the operation's active (root) span with the serving server
+// and target path. Attributes only materialize in detailed tracing mode.
+func (nn *NameNode) annotate(p *sim.Proc, path string) {
+	if sp := p.Span(); sp != nil {
+		sp.SetAttr("nn", nn.Node.Name())
+		sp.SetAttr("path", path)
+	}
 }

@@ -1,0 +1,181 @@
+package namenode
+
+import (
+	"testing"
+
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/trace"
+)
+
+// tracedHarness wires a tracer with a detailed sink into the test stack.
+func tracedHarness(t *testing.T) (*harness, *trace.Sink) {
+	h := newHarness(t)
+	tr := trace.NewTracer(trace.NewRegistry())
+	h.db.SetTracer(tr)
+	h.ns.SetTracer(tr)
+	return h, tr.EnableSink(256)
+}
+
+// phasesOf collects the names of all descendant spans of a root.
+func phasesOf(s *trace.Span) map[string]int {
+	out := map[string]int{}
+	var walk func(sp *trace.Span)
+	walk = func(sp *trace.Span) {
+		for _, c := range sp.Children {
+			out[c.Name]++
+			walk(c)
+		}
+	}
+	walk(s)
+	return out
+}
+
+// TestEveryOpEmitsOneRootSpan drives each client operation once and checks
+// that it produces exactly one root span carrying the operation's name,
+// and that mutating operations show the linear-2PC phases underneath.
+func TestEveryOpEmitsOneRootSpan(t *testing.T) {
+	h, sink := tracedHarness(t)
+	cl := h.client(1)
+
+	steps := []struct {
+		op      string
+		mutates bool
+		fn      func(p *sim.Proc) error
+	}{
+		{"mkdir", true, func(p *sim.Proc) error { return cl.Mkdir(p, "/t") }},
+		{"create", true, func(p *sim.Proc) error { return cl.Create(p, "/t/f", 0) }},
+		{"stat", false, func(p *sim.Proc) error { _, err := cl.Stat(p, "/t/f"); return err }},
+		{"read", false, func(p *sim.Proc) error { _, err := cl.ReadFile(p, "/t/f"); return err }},
+		{"list", false, func(p *sim.Proc) error { _, err := cl.List(p, "/t"); return err }},
+		{"setPermission", true, func(p *sim.Proc) error { return cl.SetPermission(p, "/t/f", 0o600) }},
+		{"setOwner", true, func(p *sim.Proc) error { return cl.SetOwner(p, "/t/f", "bob") }},
+		{"contentSummary", false, func(p *sim.Proc) error { _, _, _, err := cl.Du(p, "/t"); return err }},
+		{"rename", true, func(p *sim.Proc) error { return cl.Rename(p, "/t/f", "/t/g") }},
+		{"delete", true, func(p *sim.Proc) error { return cl.Delete(p, "/t/g", false) }},
+	}
+	for _, step := range steps {
+		step := step
+		before := sink.Total()
+		h.run(t, func(p *sim.Proc) {
+			if err := step.fn(p); err != nil {
+				t.Errorf("%s: %v", step.op, err)
+			}
+		})
+		if t.Failed() {
+			return
+		}
+		if got := sink.Total() - before; got != 1 {
+			t.Fatalf("%s emitted %d root spans, want exactly 1", step.op, got)
+		}
+		spans := sink.Spans()
+		root := spans[len(spans)-1]
+		if root.Name != step.op {
+			t.Fatalf("root span named %q, want %q", root.Name, step.op)
+		}
+		if root.Err {
+			t.Fatalf("%s span flagged as error", step.op)
+		}
+		if root.Duration() <= 0 {
+			t.Fatalf("%s span has duration %v", step.op, root.Duration())
+		}
+		ph := phasesOf(root)
+		if ph["txn"] == 0 {
+			t.Fatalf("%s span has no txn child: %v", step.op, ph)
+		}
+		if step.mutates {
+			// ReadBackup is on in this harness, so a mutating transaction
+			// runs all three linear-2PC passes.
+			for _, want := range []string{"prepare", "commit", "complete"} {
+				if ph[want] == 0 {
+					t.Fatalf("%s span lacks %q phase: %v", step.op, want, ph)
+				}
+			}
+		}
+	}
+}
+
+// TestSpanPhasesNestInsideTxn checks structural nesting: phases are children
+// of a txn span, not siblings of it, and their extents lie inside the root's.
+func TestSpanPhasesNestInsideTxn(t *testing.T) {
+	h, sink := tracedHarness(t)
+	cl := h.client(2)
+	h.run(t, func(p *sim.Proc) {
+		if err := cl.Mkdir(p, "/nest"); err != nil {
+			t.Error(err)
+		}
+	})
+	spans := sink.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans captured")
+	}
+	root := spans[len(spans)-1]
+	var txn *trace.Span
+	for _, c := range root.Children {
+		if c.Name == "txn" {
+			txn = c
+		}
+		if c.Name == "prepare" || c.Name == "commit" || c.Name == "complete" {
+			t.Fatalf("phase %q attached directly to the root", c.Name)
+		}
+	}
+	if txn == nil {
+		t.Fatalf("no txn child under root: %+v", root.Children)
+	}
+	var saw int
+	var walk func(sp *trace.Span)
+	walk = func(sp *trace.Span) {
+		for _, c := range sp.Children {
+			if c.Name == "prepare" || c.Name == "commit" || c.Name == "complete" {
+				saw++
+				if c.Start < root.Start || c.End > root.End {
+					t.Fatalf("phase %q [%v,%v] outside root [%v,%v]",
+						c.Name, c.Start, c.End, root.Start, root.End)
+				}
+			}
+			walk(c)
+		}
+	}
+	walk(txn)
+	if saw == 0 {
+		t.Fatal("no 2PC phases under the txn span")
+	}
+}
+
+// TestAggregateModeCountsOpsWithoutSink checks the always-on tier: without
+// a sink, no spans are retained but the registry still aggregates per-op
+// latency and error counts.
+func TestAggregateModeCountsOpsWithoutSink(t *testing.T) {
+	h := newHarness(t)
+	tr := trace.NewTracer(trace.NewRegistry())
+	h.db.SetTracer(tr)
+	h.ns.SetTracer(tr)
+	cl := h.client(1)
+	h.run(t, func(p *sim.Proc) {
+		if err := cl.Mkdir(p, "/agg"); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := cl.Stat(p, "/agg"); err != nil {
+			t.Error(err)
+		}
+		if _, err := cl.Stat(p, "/missing"); err == nil {
+			t.Error("stat of missing path succeeded")
+		}
+	})
+	snap := tr.Registry().Snapshot()
+	if v, _ := trace.Lookup(snap, "op.mkdir.latency.count"); v != 1 {
+		t.Fatalf("mkdir count = %v", v)
+	}
+	if v, _ := trace.Lookup(snap, "op.stat.latency.count"); v != 2 {
+		t.Fatalf("stat count = %v", v)
+	}
+	if v, _ := trace.Lookup(snap, "op.stat.errors"); v != 1 {
+		t.Fatalf("stat errors = %v", v)
+	}
+	if v, _ := trace.Lookup(snap, "txn.lock.acquisitions"); v <= 0 {
+		t.Fatalf("lock acquisitions = %v", v)
+	}
+	if tr.Sink().Total() != 0 {
+		t.Fatal("spans retained without a sink")
+	}
+}

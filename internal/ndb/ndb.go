@@ -22,6 +22,7 @@ import (
 
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
+	"hopsfscl/internal/trace"
 	"time"
 )
 
@@ -108,6 +109,74 @@ type Cluster struct {
 
 	// Stats are cumulative cluster-wide counters.
 	Stats Stats
+
+	// tracer and obs attach the cluster to a deployment's trace layer;
+	// both are nil for uninstrumented clusters (see SetTracer).
+	tracer *trace.Tracer
+	obs    *clusterObs
+}
+
+// 2PC phase indices for clusterObs.phase; names match the registry
+// (txn.phase.<name>) and the child-span names in commitChain.
+const (
+	phasePrepare = iota
+	phaseCommit
+	phaseComplete
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"prepare", "commit", "complete"}
+
+// clusterObs caches pre-registered registry handles for the hot paths of
+// the commit protocol, so recording costs one atomic add or an uncontended
+// mutex — never a map lookup.
+type clusterObs struct {
+	// phase times each 2PC pass: prepare (Prepare out + Prepared back),
+	// commit (Commit out + Committed back), and complete (only awaited
+	// under Read Backup, §IV-A3).
+	phase [numPhases]*trace.Timing
+	// lockAcq counts row-lock acquisitions; lockWait times only the
+	// contended ones (immediate grants would drown the mean in zeros).
+	lockAcq  *trace.Counter
+	lockWait *trace.Timing
+	// tcSelect counts transaction-coordinator selections by the proximity
+	// of the chosen TC to the API client (§IV-A5).
+	tcSelect [ProximityRemote + 1]*trace.Counter
+}
+
+// proximityLabel names a §IV-A4 proximity distance for registry labels.
+func proximityLabel(d int) string {
+	switch d {
+	case ProximitySameHost:
+		return "same_host"
+	case ProximitySameZone:
+		return "same_zone"
+	default:
+		return "remote"
+	}
+}
+
+// SetTracer attaches the cluster to a deployment's tracer: 2PC phases,
+// lock waits and TC selections are recorded in the tracer's registry, and
+// transactions annotate the caller's active span. A nil tracer detaches.
+func (c *Cluster) SetTracer(tr *trace.Tracer) {
+	c.tracer = tr
+	reg := tr.Registry()
+	if reg == nil {
+		c.obs = nil
+		return
+	}
+	obs := &clusterObs{
+		lockAcq:  reg.Counter("txn.lock.acquisitions"),
+		lockWait: reg.Timing("txn.lock_wait"),
+	}
+	for ph := 0; ph < numPhases; ph++ {
+		obs.phase[ph] = reg.Timing("txn.phase." + phaseNames[ph])
+	}
+	for d := ProximitySameHost; d <= ProximityRemote; d++ {
+		obs.tcSelect[d] = reg.Counter("ndb.tc_select", "prox", proximityLabel(d))
+	}
+	c.obs = obs
 }
 
 // Stats holds cluster-wide transaction counters.

@@ -6,6 +6,7 @@ import (
 
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
+	"hopsfscl/internal/trace"
 )
 
 // Txn is a transaction coordinated by one datanode's TC thread on behalf of
@@ -57,6 +58,14 @@ func (c *Cluster) Begin(p *sim.Proc, origin *simnet.Node, originDomain simnet.Zo
 	tc := c.selectTC(origin, originDomain, table, partKey)
 	if tc == nil {
 		return nil, ErrNoNodes
+	}
+	if sp := p.Span(); c.obs != nil || sp != nil {
+		d := domainProximity(origin, originDomain, tc)
+		if c.obs != nil {
+			c.obs.tcSelect[d].Add(1)
+		}
+		sp.SetAttr("tc", tc.Node.Name())
+		sp.SetAttr("tc_prox", proximityLabel(d))
 	}
 	t := &Txn{
 		c:            c,
@@ -466,7 +475,11 @@ func (t *Txn) Commit() error {
 			results.Send(err)
 			continue
 		}
+		// Sub-processes inherit the transaction's span so their network
+		// hops and phase timings stay attributed to the operation.
+		sp := t.p.Span()
 		t.c.env.Spawn("commit-chain", func(p *sim.Proc) {
+			p.SetSpan(sp)
 			err := t.commitChain(p, w, readBackupFor(w))
 			p.Flush()
 			results.Send(err)
@@ -517,8 +530,41 @@ func (t *Txn) commitChain(p *sim.Proc, w *writeOp, readBackup bool) error {
 		}
 	}
 	rowBytes := reqSize + table.rowSize
+
+	// Phase instrumentation: each 2PC pass gets a child span (detailed
+	// mode only) and a registry timing. Hops made while a phase span is
+	// installed are attributed to both the phase and the operation's root.
+	obs := t.c.obs
+	parent := p.Span()
+	var phase *trace.Span
+	var phaseIdx int
+	phaseStart := p.EffNow()
+	beginPhase := func(idx int) {
+		phaseIdx = idx
+		phase = parent.Child(phaseNames[idx], phaseStart)
+		if phase != nil {
+			p.SetSpan(phase)
+		}
+	}
+	endPhase := func() {
+		now := p.EffNow()
+		phase.Finish(now)
+		if obs != nil {
+			obs.phase[phaseIdx].Observe(now - phaseStart)
+		}
+		phase = nil
+		phaseStart = now
+	}
+	defer func() {
+		// Error returns leave the active phase open; close it so sink
+		// trees render consistently, and restore the caller's span.
+		phase.Finish(p.EffNow())
+		p.SetSpan(parent)
+	}()
+
 	// Prepare pass: TC -> primary -> backups -> ... ; last replica answers
 	// Prepared to the TC.
+	beginPhase(phasePrepare)
 	prev := t.tc
 	for _, dn := range chain {
 		prev.send(p)
@@ -536,8 +582,10 @@ func (t *Txn) commitChain(p *sim.Proc, w *writeOp, readBackup bool) error {
 		return ErrNodeUnavailable
 	}
 	t.tc.recv(p)
+	endPhase()
 	// Commit pass in reverse order: the primary replica (chain head) is the
 	// commit point; it applies the mutation and releases the row locks.
+	beginPhase(phaseCommit)
 	prev = t.tc
 	for i := len(chain) - 1; i >= 0; i-- {
 		dn := chain[i]
@@ -559,6 +607,7 @@ func (t *Txn) commitChain(p *sim.Proc, w *writeOp, readBackup bool) error {
 		return ErrNodeUnavailable
 	}
 	t.tc.recv(p)
+	endPhase()
 	// Complete pass: release backup-side resources. Without Read Backup
 	// the TC does not wait for the Completed responses (the paper's short
 	// staleness window on backups); with Read Backup it must (§IV-A3).
@@ -567,20 +616,30 @@ func (t *Txn) commitChain(p *sim.Proc, w *writeOp, readBackup bool) error {
 		return nil
 	}
 	if !readBackup {
+		// Fire-and-forget Completes go through Send (no process), so they
+		// are counted in the registry's global net.* but not per-op.
 		for _, dn := range backups {
 			t.tc.send(p)
 			t.c.net.Send(t.tc.Node, dn.Node, ackSize, "complete")
 		}
 		return nil
 	}
+	beginPhase(phaseComplete)
 	donec := sim.NewMailbox[bool](t.c.env)
 	// The Complete fan-out runs as sub-processes; synchronize them with
 	// the parent's effective instant first.
 	p.Flush()
+	// Capture the span the fan-out should charge: the complete-phase span
+	// when detailed, else the transaction's span.
+	fanSpan := phase
+	if fanSpan == nil {
+		fanSpan = parent
+	}
 	for _, dn := range backups {
 		dn := dn
 		t.tc.send(p)
 		t.c.env.Spawn("complete", func(cp *sim.Proc) {
+			cp.SetSpan(fanSpan)
 			ok := t.c.net.TravelDeferred(cp, t.tc.Node, dn.Node, ackSize, cfg.RPCTimeout)
 			if ok {
 				dn.recv(cp)
@@ -602,6 +661,7 @@ func (t *Txn) commitChain(p *sim.Proc, w *writeOp, readBackup bool) error {
 	if !allOK {
 		return ErrNodeUnavailable
 	}
+	endPhase()
 	return nil
 }
 
@@ -660,12 +720,25 @@ func (t *Txn) finish(committed bool) {
 func (t *Txn) lockRow(part *Partition, pk, key string, mode LockMode) error {
 	t.p.Flush()
 	r := part.getRow(pk, key)
+	obs := t.c.obs
+	if obs != nil {
+		obs.lockAcq.Add(1)
+	}
 	mb := r.lock.acquire(t.c.env, t.id, mode)
 	if mb == nil {
 		t.locks = append(t.locks, lockRef{part: part, pk: pk, key: key})
 		return nil
 	}
-	if _, ok := mb.RecvTimeout(t.p, t.c.cfg.LockTimeout); !ok {
+	// Contended: park until granted or the deadlock-detection timeout.
+	start := t.p.Now()
+	ls := t.p.Span().Child("lock_wait", start)
+	_, ok := mb.RecvTimeout(t.p, t.c.cfg.LockTimeout)
+	if obs != nil {
+		obs.lockWait.Observe(t.p.Now() - start)
+	}
+	if !ok {
+		ls.SetAttr("timeout", "true")
+		ls.Finish(t.p.Now())
 		r.lock.removeWaiter(t.id)
 		// The grant may have raced the timeout within the same instant.
 		if _, held := r.lock.holders[t.id]; held {
@@ -674,6 +747,7 @@ func (t *Txn) lockRow(part *Partition, pk, key string, mode LockMode) error {
 		}
 		return ErrLockTimeout
 	}
+	ls.Finish(t.p.Now())
 	t.locks = append(t.locks, lockRef{part: part, pk: pk, key: key})
 	return nil
 }

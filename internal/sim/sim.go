@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"hopsfscl/internal/trace"
 )
 
 // Env is a simulation environment: a virtual clock, an event queue, and the
@@ -256,6 +258,11 @@ type Proc struct {
 	// pending is the accumulated deferred delay (see Defer).
 	pending time.Duration
 
+	// span is the process's active trace span: the annotation context that
+	// instrumented layers (network hops, 2PC phases) attribute work to.
+	// Nil when the process runs outside any traced operation.
+	span *trace.Span
+
 	// queued guards against double-insertion into the ready list.
 	queued bool
 	// parkedEntry, when non-nil, is this proc's entry in env.allParked.
@@ -274,6 +281,19 @@ func (p *Proc) Now() time.Duration { return p.env.now }
 
 // Rand returns the deterministic random source.
 func (p *Proc) Rand() *rand.Rand { return p.env.rng }
+
+// Span returns the process's active trace span (nil when untraced).
+func (p *Proc) Span() *trace.Span { return p.span }
+
+// SetSpan installs s as the process's active trace span and returns the
+// previously active one, so callers can restore it when their scope ends.
+// Processes spawned on behalf of a traced operation (commit chains,
+// fan-outs) inherit attribution by setting the parent's span explicitly.
+func (p *Proc) SetSpan(s *trace.Span) (prev *trace.Span) {
+	prev = p.span
+	p.span = s
+	return prev
+}
 
 // Defer adds d to the process's pending virtual delay without blocking.
 // Pending delay represents work whose duration is already determined (an

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hopsfscl/internal/sim"
+	"hopsfscl/internal/trace"
 )
 
 // ZoneID identifies an availability zone. Zone 0 is reserved to mean
@@ -110,6 +111,16 @@ type Network struct {
 	partitions map[[2]ZoneID]bool
 
 	dropped int64
+
+	// obs holds pre-registered per-hop-class counters; nil when no metrics
+	// registry is attached (see SetRegistry).
+	obs *netObs
+}
+
+// netObs caches registry handles so the per-message cost is two atomic adds.
+type netObs struct {
+	bytes [trace.NumHopClasses]*trace.Counter
+	msgs  [trace.NumHopClasses]*trace.Counter
 }
 
 type link struct {
@@ -130,6 +141,47 @@ func New(env *sim.Env, topo *Topology) *Network {
 
 // Env returns the simulation environment.
 func (n *Network) Env() *sim.Env { return n.env }
+
+// SetRegistry attaches a metrics registry: every subsequent message is
+// counted under net.bytes{class=...} and net.msgs{class=...} by hop class.
+// A nil registry detaches.
+func (n *Network) SetRegistry(reg *trace.Registry) {
+	if reg == nil {
+		n.obs = nil
+		return
+	}
+	obs := &netObs{}
+	for c := trace.HopClass(0); c < trace.NumHopClasses; c++ {
+		obs.bytes[c] = reg.Counter("net.bytes", "class", c.String())
+		obs.msgs[c] = reg.Counter("net.msgs", "class", c.String())
+	}
+	n.obs = obs
+}
+
+// HopClassOf classifies a message between two nodes by endpoint proximity:
+// loopback, same host, same zone, or cross-AZ. Unlike Proximity it compares
+// physical zones directly (deployed nodes always have a real zone; the
+// ZoneUnset sentinel only disables *awareness*, not physical placement).
+func HopClassOf(from, to *Node) trace.HopClass {
+	switch {
+	case from.id == to.id:
+		return trace.HopLocal
+	case from.host == to.host && from.zone == to.zone:
+		return trace.HopSameHost
+	case from.zone == to.zone:
+		return trace.HopSameZone
+	default:
+		return trace.HopCrossZone
+	}
+}
+
+// observe counts one delivered message in the registry (if attached).
+func (n *Network) observe(class trace.HopClass, size int) {
+	if n.obs != nil {
+		n.obs.bytes[class].Add(int64(size))
+		n.obs.msgs[class].Add(1)
+	}
+}
 
 // Topology returns the network's topology.
 func (n *Network) Topology() *Topology { return n.topo }
@@ -262,6 +314,9 @@ func Deliver[T any](n *Network, from, to *Node, size int, mb *sim.Mailbox[T], v 
 // message was dropped (dead node or partition) and the timeout elapsed
 // instead.
 func (n *Network) Travel(p *sim.Proc, from, to *Node, size int, timeout time.Duration) bool {
+	if from.alive && (from.zone == to.zone || !n.Partitioned(from.zone, to.zone)) {
+		p.Span().RecordHop(HopClassOf(from, to), size)
+	}
 	mb := sim.NewMailbox[struct{}](n.env)
 	n.transmit(from, to, size, func() { mb.Send(struct{}{}) })
 	_, ok := mb.RecvTimeout(p, timeout)
@@ -283,6 +338,9 @@ func (n *Network) TravelDeferred(p *sim.Proc, from, to *Node, size int, timeout 
 	}
 	from.nicWrite += int64(size)
 	to.nicRead += int64(size)
+	hop := HopClassOf(from, to)
+	n.observe(hop, size)
+	p.Span().RecordHop(hop, size)
 	lat := n.latency(from, to)
 	key := [2]ZoneID{from.zone, to.zone}
 	lk := n.links[key]
@@ -327,6 +385,7 @@ func (n *Network) transmit(from, to *Node, size int, handover func()) {
 		return
 	}
 	from.nicWrite += int64(size)
+	n.observe(HopClassOf(from, to), size)
 	lat := n.latency(from, to)
 	key := [2]ZoneID{from.zone, to.zone}
 	lk := n.links[key]
