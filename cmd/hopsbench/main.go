@@ -9,7 +9,10 @@
 //	hopsbench all
 //
 // Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 failures.
+// fig13 fig14 failures chaos ablations phases. "chaos" runs the seeded
+// random fault-campaign sweep (deterministic per seed) with cross-layer
+// invariant auditing; "failures" runs the §V-F scripted drills on the
+// same engine.
 //
 // Flags:
 //

@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	hopsfs [-setup "HopsFS-CL (3,3)"] [-seed N] [demo]
+//	hopsfs [-setup "HopsFS-CL (3,3)"] [-seed N] [demo | chaos <schedule-file>]
 //
 // With "demo" it runs a scripted tour (namespace ops, atomic rename, AZ
-// failure, split brain). Without arguments it reads commands from stdin:
+// failure, split brain). With "chaos <schedule-file>" it runs the fault
+// schedule under the chaos engine's audited workload and prints the
+// campaign report (see DESIGN.md for the schedule syntax). Without
+// arguments it reads commands from stdin:
 //
 //	mkdir <path>          create a directory (parents created as needed)
 //	put <path> <size>     write a file of <size> bytes (e.g. 64K, 300M)
@@ -48,6 +51,7 @@ func run(args []string) error {
 	setupName := "HopsFS-CL (3,3)"
 	seed := int64(1)
 	demo := false
+	chaosFile := ""
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "-setup":
@@ -68,6 +72,12 @@ func run(args []string) error {
 			seed = v
 		case "demo":
 			demo = true
+		case "chaos":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("chaos needs a schedule file")
+			}
+			chaosFile = args[i]
 		default:
 			return fmt.Errorf("unknown argument %q", args[i])
 		}
@@ -81,11 +91,35 @@ func run(args []string) error {
 	defer cluster.Close()
 	fmt.Printf("zones: %s — leader: nn-%d\n", strings.Join(cluster.Zones(), ", "), cluster.LeaderID())
 
+	if chaosFile != "" {
+		return runChaos(cluster, chaosFile, seed)
+	}
 	sh := &shell{cluster: cluster, fs: cluster.Client(1), zone: 1}
 	if demo {
 		return sh.demo()
 	}
 	return sh.repl()
+}
+
+// runChaos executes a fault schedule file under the chaos engine and
+// prints the campaign report.
+func runChaos(cluster *hopsfscl.Cluster, file string, seed int64) error {
+	text, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running chaos schedule %s (workload seed %d)...\n", file, seed)
+	rep, err := cluster.RunChaos(string(text), seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	if rep.Clean() {
+		fmt.Println("campaign clean: all invariants held, no acknowledged write lost.")
+	} else {
+		fmt.Println("campaign found VIOLATIONS — see above.")
+	}
+	return nil
 }
 
 type shell struct {

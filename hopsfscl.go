@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"hopsfscl/internal/bench"
+	"hopsfscl/internal/chaos"
 	"hopsfscl/internal/core"
 	"hopsfscl/internal/namenode"
 	"hopsfscl/internal/sim"
@@ -485,6 +486,52 @@ func joinPath(dir, name string) string {
 		return "/" + name
 	}
 	return dir + "/" + name
+}
+
+// ChaosReport is the outcome of one chaos campaign: operation and history
+// counts, invariant checkpoints and violations, per-fault recovery times,
+// and unavailability windows. Render formats it deterministically.
+type ChaosReport = chaos.Report
+
+// RunChaos executes a declarative fault schedule against this cluster
+// under the chaos engine: an audited workload runs on virtual time while
+// the schedule injects AZ failures, partitions, node crashes, and link
+// degradations; at every step the engine quiesces and verifies the
+// cross-layer invariants (replica liveness, checkpoint durability, block
+// placement, namespace agreement, leader uniqueness), and afterwards the
+// recorded history is checked for lost acknowledged writes and stale
+// reads. The schedule text is line-oriented:
+//
+//	at 4s fail-zone 2
+//	at 10s recover-zone 2
+//	at 16s partition 1 3
+//	at 21s heal 1 3
+//
+// The seed drives the workload's operation mix. The cluster keeps running
+// afterwards in whatever state the schedule left it.
+func (c *Cluster) RunChaos(schedule string, seed int64) (*ChaosReport, error) {
+	sched, err := chaos.ParseSchedule(schedule)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := chaos.NewEngine(c.d, sched, chaos.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// RunChaosCampaign generates a seeded random fault schedule (faults
+// degrading steps, each with a paired recovery, spread over dur) and runs
+// it like RunChaos. The same seed always generates the same schedule and
+// produces the same report.
+func (c *Cluster) RunChaosCampaign(seed int64, faults int, dur time.Duration) (*ChaosReport, error) {
+	sched := chaos.Generate(c.d, seed, dur, faults)
+	eng, err := chaos.NewEngine(c.d, sched, chaos.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
 }
 
 // RunExperiment regenerates one of the paper's tables or figures ("table1",

@@ -2,6 +2,7 @@ package hopsfscl
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -165,10 +166,10 @@ func TestSetupsAndExperimentsListed(t *testing.T) {
 		t.Fatalf("setups = %d, want 9", got)
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 15 {
-		t.Fatalf("experiments = %d, want 15", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(ids))
 	}
-	want := map[string]bool{"table1": true, "table2": true, "fig5": true, "fig14": true, "failures": true, "phases": true}
+	want := map[string]bool{"table1": true, "table2": true, "fig5": true, "fig14": true, "failures": true, "chaos": true, "phases": true}
 	for _, id := range ids {
 		delete(want, id)
 	}
@@ -277,5 +278,36 @@ func TestExistsAndDu(t *testing.T) {
 	ok, err = fs.Exists("/du/zzz")
 	if err != nil || ok {
 		t.Fatalf("exists missing = %v, %v", ok, err)
+	}
+}
+
+func TestRunChaosScheduleOnFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign drives a full deployment")
+	}
+	c := newCluster(t, WithSeed(11))
+	rep, err := c.RunChaos("at 3s fail-zone 2\nat 8s recover-zone 2\n", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Check.Ops == 0 || rep.Check.OK == 0 {
+		t.Fatalf("campaign recorded no operations: %+v", rep.Check)
+	}
+	if !rep.Clean() {
+		t.Fatalf("campaign not clean:\n%s", rep.Render())
+	}
+	if rep.Check.AckedLost != 0 {
+		t.Fatalf("acked writes lost: %d", rep.Check.AckedLost)
+	}
+	if !strings.Contains(rep.Render(), "fail-zone") {
+		t.Fatalf("render missing the schedule step:\n%s", rep.Render())
+	}
+	// The cluster is still usable after the campaign.
+	if err := c.Client(1).MkdirAll("/post/chaos"); err != nil {
+		t.Fatalf("cluster unusable after campaign: %v", err)
+	}
+
+	if _, err := c.RunChaos("at 1s fail-zone 9\n", 1); err == nil {
+		t.Fatal("schedule with a bogus zone accepted")
 	}
 }

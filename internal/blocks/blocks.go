@@ -12,6 +12,7 @@ package blocks
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
@@ -47,6 +48,11 @@ type Config struct {
 	MonitorInterval time.Duration
 	// RPCTimeout bounds pipeline hops.
 	RPCTimeout time.Duration
+	// OrphanGrace is how long an unreferenced block may exist before the
+	// monitor reclaims it. Blocks can be legitimately unreferenced while a
+	// client is still streaming a file (written but not yet attached to an
+	// inode), so reclamation only fires after this grace period.
+	OrphanGrace time.Duration
 }
 
 // DefaultConfig returns the paper's block layer defaults.
@@ -57,6 +63,7 @@ func DefaultConfig() Config {
 		AZAware:         true,
 		MonitorInterval: time.Second,
 		RPCTimeout:      30 * time.Second,
+		OrphanGrace:     time.Minute,
 	}
 }
 
@@ -65,7 +72,7 @@ type DataNode struct {
 	Node *simnet.Node
 	ID   int
 
-	blocks map[BlockID]bool
+	blocks map[BlockID]int64 // replica sizes held, by block id
 	used   int64
 }
 
@@ -73,7 +80,7 @@ type DataNode struct {
 func (dn *DataNode) Used() int64 { return dn.used }
 
 // HoldsBlock reports whether the datanode has a replica of b.
-func (dn *DataNode) HoldsBlock(b BlockID) bool { return dn.blocks[b] }
+func (dn *DataNode) HoldsBlock(b BlockID) bool { _, ok := dn.blocks[b]; return ok }
 
 // Block is the metadata of one block: its locations and size. In HopsFS
 // this state lives in NDB tables fed by datanode block reports; here the
@@ -84,6 +91,10 @@ type Block struct {
 	Inode uint64
 	Size  int64
 	locs  []*DataNode
+
+	// Created is the virtual time the block was written, used by the
+	// orphan-reclamation grace period.
+	Created time.Duration
 
 	// objectKey is set when the block lives in a cloud object store
 	// instead of on datanodes (the paper's §VII future-work block layer).
@@ -124,10 +135,19 @@ type Manager struct {
 	// NN triggers re-replication; the namesystem wires its election here.
 	leaderAlive func() bool
 
+	// referenced, when set, returns the block ids currently referenced by
+	// the namespace. The monitor uses it to reclaim orphaned blocks —
+	// replicas whose inode vanished without a client-side delete (a crash
+	// between block write and attach, or a lost delete acknowledgment).
+	referenced func() map[BlockID]bool
+
 	stop bool
 
 	// ReReplications counts blocks copied by the monitor.
 	ReReplications int64
+
+	// OrphansReclaimed counts unreferenced blocks deleted by the monitor.
+	OrphansReclaimed int64
 
 	// reg, when attached, counts placement decisions per availability zone
 	// under blocks.placed{zone=N}.
@@ -153,7 +173,7 @@ func NewManager(env *sim.Env, net *simnet.Network, cfg Config, placements []Plac
 		m.dns = append(m.dns, &DataNode{
 			Node:   net.NewNode(fmt.Sprintf("dn-%d", i+1), pl.Zone, pl.Host),
 			ID:     i,
-			blocks: make(map[BlockID]bool),
+			blocks: make(map[BlockID]int64),
 		})
 	}
 	env.Spawn("block-monitor", func(p *sim.Proc) { m.monitor(p) })
@@ -163,6 +183,11 @@ func NewManager(env *sim.Env, net *simnet.Network, cfg Config, placements []Plac
 // SetLeaderCheck wires the metadata layer's leader election: the monitor
 // only acts while the check returns true.
 func (m *Manager) SetLeaderCheck(f func() bool) { m.leaderAlive = f }
+
+// SetReferencedCheck wires the namespace's view of which blocks are
+// attached to inodes, enabling orphan reclamation in the monitor. A nil
+// check disables reclamation.
+func (m *Manager) SetReferencedCheck(f func() map[BlockID]bool) { m.referenced = f }
 
 // SetRegistry attaches a metrics registry: every placement decision is
 // counted per target availability zone. A nil registry detaches.
@@ -203,6 +228,26 @@ func (m *Manager) Block(id BlockID) (*Block, bool) {
 // BlockSize returns the configured block split size.
 func (m *Manager) BlockSize() int64 { return m.cfg.BlockSize }
 
+// Replication returns the configured target replica count.
+func (m *Manager) Replication() int { return m.cfg.Replication }
+
+// AZAware reports whether the §IV-C placement policy is enabled.
+func (m *Manager) AZAware() bool { return m.cfg.AZAware }
+
+// OrphanGrace returns the configured orphan-reclamation grace period.
+func (m *Manager) OrphanGrace() time.Duration { return m.cfg.OrphanGrace }
+
+// Blocks returns every registered block sorted by id, for deterministic
+// audit sweeps.
+func (m *Manager) Blocks() []*Block {
+	out := make([]*Block, 0, len(m.registry))
+	for _, b := range m.registry {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // SplitSize returns the number of blocks a file of the given size needs.
 func (m *Manager) SplitSize(size int64) int {
 	if size <= 0 {
@@ -235,8 +280,11 @@ func (m *Manager) Place(clientZone simnet.ZoneID, n int) ([]*DataNode, error) {
 		}
 		byZone[z] = append(byZone[z], dn)
 	}
-	for _, zdns := range byZone {
-		m.shuffle(zdns)
+	// Shuffle per zone in the deterministic zone-discovery order: ranging
+	// over the map here would consume the shared RNG in map-iteration
+	// order and break run-to-run reproducibility.
+	for _, z := range zones {
+		m.shuffle(byZone[z])
 	}
 	// Zone order: the writer's zone first, then the others.
 	ordered := make([]simnet.ZoneID, 0, len(zones))
@@ -292,7 +340,7 @@ func (m *Manager) shuffle(s []*DataNode) {
 func (m *Manager) WriteBlock(p *sim.Proc, client *simnet.Node, inode uint64, size int64) (*Block, error) {
 	if m.store != nil {
 		m.seq++
-		b := &Block{ID: m.seq, Inode: inode, Size: size, objectKey: fmt.Sprintf("blocks/%016x", m.seq)}
+		b := &Block{ID: m.seq, Inode: inode, Size: size, Created: m.env.Now(), objectKey: fmt.Sprintf("blocks/%016x", m.seq)}
 		if err := m.store.Put(p, client, b.objectKey, size); err != nil {
 			return nil, err
 		}
@@ -304,7 +352,7 @@ func (m *Manager) WriteBlock(p *sim.Proc, client *simnet.Node, inode uint64, siz
 		return nil, err
 	}
 	m.seq++
-	b := &Block{ID: m.seq, Inode: inode, Size: size, locs: targets}
+	b := &Block{ID: m.seq, Inode: inode, Size: size, Created: m.env.Now(), locs: targets}
 	prev := client
 	for _, dn := range targets {
 		if !m.net.Travel(p, prev, dn.Node, int(size), m.cfg.RPCTimeout) {
@@ -318,7 +366,7 @@ func (m *Manager) WriteBlock(p *sim.Proc, client *simnet.Node, inode uint64, siz
 		return nil, ErrNoDatanodes
 	}
 	for _, dn := range targets {
-		dn.blocks[b.ID] = true
+		dn.blocks[b.ID] = size
 		dn.used += size
 	}
 	m.registry[b.ID] = b
@@ -377,7 +425,7 @@ func (m *Manager) DeleteBlock(id BlockID) {
 		return
 	}
 	for _, dn := range b.locs {
-		if dn.blocks[id] {
+		if dn.HoldsBlock(id) {
 			delete(dn.blocks, id)
 			dn.used -= b.Size
 		}
@@ -385,29 +433,127 @@ func (m *Manager) DeleteBlock(id BlockID) {
 	delete(m.registry, id)
 }
 
-// UnderReplicated returns blocks with fewer live replicas than the target.
-// Object-store blocks are never under-replicated (provider durability).
-func (m *Manager) UnderReplicated() []*Block {
-	var out []*Block
-	for _, b := range m.registry {
-		if b.objectKey == "" && len(b.Locations()) < m.cfg.Replication {
-			out = append(out, b)
+// liveZones returns the set of zones with at least one live datanode.
+func (m *Manager) liveZones() map[simnet.ZoneID]bool {
+	out := make(map[simnet.ZoneID]bool)
+	for _, dn := range m.dns {
+		if dn.Node.Alive() {
+			out[dn.Node.Zone()] = true
 		}
 	}
 	return out
 }
 
+// SpreadViolated reports whether the block breaks the §IV-C placement
+// guarantee: its live replicas must cover min(replication factor, live
+// zones) distinct availability zones. A block can satisfy the replica
+// *count* yet violate this — e.g. after a zone failure forced a doubled-up
+// replacement replica and the zone then recovered.
+func (m *Manager) SpreadViolated(b *Block) bool {
+	if !m.cfg.AZAware || b.objectKey != "" {
+		return false
+	}
+	zones := make(map[simnet.ZoneID]bool)
+	for _, dn := range b.Locations() {
+		zones[dn.Node.Zone()] = true
+	}
+	want := len(m.liveZones())
+	if want > m.cfg.Replication {
+		want = m.cfg.Replication
+	}
+	return len(zones) < want
+}
+
+// UnderReplicated returns blocks needing the monitor's attention: fewer
+// live replicas than the target, or live replicas that no longer cover
+// every availability zone (the §IV-C one-replica-per-AZ guarantee).
+// Object-store blocks are never under-replicated (provider durability).
+// The result is sorted by block id for deterministic repair order.
+func (m *Manager) UnderReplicated() []*Block {
+	var out []*Block
+	for _, b := range m.registry {
+		if b.objectKey != "" {
+			continue
+		}
+		if len(b.Locations()) < m.cfg.Replication || m.SpreadViolated(b) {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // monitor is the leader-driven re-replication loop (§IV-C2): when a
-// datanode failure leaves blocks under-replicated, a surviving replica is
-// copied to a fresh target chosen by the placement policy.
+// datanode failure leaves blocks under-replicated or breaks the AZ-spread
+// guarantee, a surviving replica is copied to a fresh target chosen by the
+// placement policy. The loop also reconciles stale replicas on recovered
+// datanodes (block-report invalidation) and reclaims orphaned blocks.
 func (m *Manager) monitor(p *sim.Proc) {
 	for !m.stop {
 		p.Sleep(m.cfg.MonitorInterval)
 		if m.stop || !m.leaderAlive() {
 			continue
 		}
+		m.reconcile()
 		for _, b := range m.UnderReplicated() {
 			m.reReplicate(p, b)
+		}
+		m.reclaimOrphans()
+	}
+}
+
+// reconcile drops replicas that datanodes hold but the registry no longer
+// lists (the registry forgets dead replicas when it re-replicates; when the
+// node recovers, its stale copy is invalidated — HDFS's block-report path).
+func (m *Manager) reconcile() {
+	for _, dn := range m.dns {
+		if !dn.Node.Alive() {
+			continue
+		}
+		for id, sz := range dn.blocks {
+			b, ok := m.registry[id]
+			if !ok {
+				delete(dn.blocks, id)
+				dn.used -= sz
+				continue
+			}
+			listed := false
+			for _, loc := range b.locs {
+				if loc == dn {
+					listed = true
+					break
+				}
+			}
+			if !listed {
+				delete(dn.blocks, id)
+				dn.used -= b.Size
+			}
+		}
+	}
+}
+
+// reclaimOrphans deletes blocks no inode references once they outlive the
+// grace period (covers crash-orphaned writes and lost delete acks).
+func (m *Manager) reclaimOrphans() {
+	if m.referenced == nil || m.cfg.OrphanGrace <= 0 {
+		return
+	}
+	var orphans []BlockID
+	now := m.env.Now()
+	for id, b := range m.registry {
+		if now-b.Created >= m.cfg.OrphanGrace {
+			orphans = append(orphans, id)
+		}
+	}
+	if len(orphans) == 0 {
+		return
+	}
+	refs := m.referenced()
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, id := range orphans {
+		if !refs[id] {
+			m.DeleteBlock(id)
+			m.OrphansReclaimed++
 		}
 	}
 }
@@ -438,6 +584,9 @@ func (m *Manager) reReplicate(p *sim.Proc, b *Block) {
 		break
 	}
 	if target == nil {
+		if len(locs) >= m.cfg.Replication {
+			return // count satisfied and every live zone already covered
+		}
 		for _, dn := range m.liveNodes() {
 			if !have[dn.ID] {
 				target = dn
@@ -452,8 +601,45 @@ func (m *Manager) reReplicate(p *sim.Proc, b *Block) {
 		return
 	}
 	target.Node.DiskWrite(p, int(b.Size))
-	target.blocks[b.ID] = true
+	target.blocks[b.ID] = b.Size
 	target.used += b.Size
 	b.locs = append(b.Locations(), target)
 	m.ReReplications++
+	// A spread-restoring copy can push the block above the target count
+	// (the zone recovery returned it to full count, but doubled up in one
+	// zone): trim surplus replicas from over-represented zones so the
+	// repair restores AZ spread, not just count.
+	if m.cfg.AZAware {
+		m.trimExcess(b)
+	}
+}
+
+// trimExcess removes live replicas beyond the replication factor, always
+// taking them from zones that hold more than one, so the one-replica-per-AZ
+// guarantee is preserved.
+func (m *Manager) trimExcess(b *Block) {
+	for {
+		locs := b.Locations()
+		if len(locs) <= m.cfg.Replication {
+			return
+		}
+		perZone := make(map[simnet.ZoneID]int, len(locs))
+		for _, dn := range locs {
+			perZone[dn.Node.Zone()]++
+		}
+		victim := -1
+		for i, dn := range locs {
+			if perZone[dn.Node.Zone()] > 1 {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return // more live zones than the target count; keep the spread
+		}
+		dn := locs[victim]
+		delete(dn.blocks, b.ID)
+		dn.used -= b.Size
+		b.locs = append(locs[:victim], locs[victim+1:]...)
+	}
 }

@@ -270,3 +270,131 @@ func TestObjectStoreBackend(t *testing.T) {
 		t.Fatal("registry kept deleted block")
 	}
 }
+
+// TestSpreadViolationFlagsAndRepairs loses an AZ and brings it back: while
+// the zone is down the block must be flagged under-replicated even if the
+// replica count was restored within the surviving zones, and once the zone
+// recovers the monitor must restore one-replica-per-AZ, trimming any
+// excess copies it piled up in the interim.
+func TestSpreadViolationFlagsAndRepairs(t *testing.T) {
+	env, m := testManager(t, true)
+	cl := client(m, 1)
+	var blk *Block
+	env.Spawn("writer", func(p *sim.Proc) {
+		blk, _ = m.WriteBlock(p, cl, 1, 1<<20)
+	})
+	env.RunFor(time.Minute)
+
+	for _, dn := range m.DataNodes() {
+		if dn.Node.Zone() == 2 {
+			dn.Node.Fail()
+		}
+	}
+	// Let the monitor re-replicate within the two surviving zones: the
+	// count comes back to 3 across the two live AZs, which satisfies the
+	// one-replica-per-LIVE-AZ reading of §IV-C — no violation yet.
+	env.RunFor(time.Minute)
+	if got := len(blk.Locations()); got != 3 {
+		t.Fatalf("live replicas = %d with zone 2 down, want 3 (count repaired)", got)
+	}
+	if m.SpreadViolated(blk) {
+		t.Fatal("3 replicas across both live zones flagged as spread violation")
+	}
+
+	// The moment the zone returns, 3 replicas over 2 of 3 live zones IS a
+	// violation, and the monitor must both restore the spread and trim the
+	// excess copy it piled up during the outage.
+	for _, dn := range m.DataNodes() {
+		if dn.Node.Zone() == 2 {
+			dn.Node.Recover()
+		}
+	}
+	if !m.SpreadViolated(blk) {
+		t.Fatal("missing-zone spread not flagged after zone recovery")
+	}
+	found := false
+	for _, b := range m.UnderReplicated() {
+		if b.ID == blk.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("spread-violating block missing from UnderReplicated()")
+	}
+	env.RunFor(time.Minute)
+	if m.SpreadViolated(blk) {
+		t.Fatal("spread violation persists after zone recovery + monitor")
+	}
+	locs := blk.Locations()
+	if len(locs) != 3 {
+		t.Fatalf("live replicas = %d after repair, want exactly 3 (excess trimmed)", len(locs))
+	}
+	zones := map[simnet.ZoneID]bool{}
+	for _, dn := range locs {
+		zones[dn.Node.Zone()] = true
+	}
+	if len(zones) != 3 {
+		t.Fatalf("replicas span %d zones after repair, want 3", len(zones))
+	}
+}
+
+// TestReconcileInvalidatesStaleReplicas recovers a datanode whose block
+// was re-replicated elsewhere while it was down: the block-report
+// reconciliation must drop the stale copy and return its bytes.
+func TestReconcileInvalidatesStaleReplicas(t *testing.T) {
+	env, m := testManager(t, true)
+	cl := client(m, 1)
+	var blk *Block
+	env.Spawn("writer", func(p *sim.Proc) {
+		blk, _ = m.WriteBlock(p, cl, 1, 1<<20)
+	})
+	env.RunFor(time.Minute)
+	victim := blk.Locations()[0]
+	usedBefore := victim.Used()
+	victim.Node.Fail()
+	env.RunFor(time.Minute) // monitor re-replicates onto a different node
+	if !victim.HoldsBlock(blk.ID) {
+		t.Fatal("setup: victim should still hold the stale replica while down")
+	}
+	victim.Node.Recover()
+	env.RunFor(time.Minute) // monitor reconciles block reports
+	if victim.HoldsBlock(blk.ID) {
+		t.Fatal("stale replica not invalidated after recovery")
+	}
+	if victim.Used() >= usedBefore {
+		t.Fatalf("stale replica bytes not returned: used %d -> %d", usedBefore, victim.Used())
+	}
+	if got := len(blk.Locations()); got != 3 {
+		t.Fatalf("live replicas = %d after reconcile, want 3", got)
+	}
+}
+
+// TestOrphanReclamation registers one referenced and one orphaned block
+// and advances past the grace period: only the orphan is reclaimed, and
+// only after the grace.
+func TestOrphanReclamation(t *testing.T) {
+	env, m := testManager(t, true)
+	m.SetReferencedCheck(func() map[BlockID]bool {
+		// Block 1 is referenced by an inode; anything else is orphaned.
+		return map[BlockID]bool{1: true}
+	})
+	cl := client(m, 1)
+	env.Spawn("writer", func(p *sim.Proc) {
+		m.WriteBlock(p, cl, 1, 1<<20)
+		m.WriteBlock(p, cl, 2, 1<<20)
+	})
+	env.RunFor(30 * time.Second) // inside the grace period (1 minute)
+	if m.OrphansReclaimed != 0 {
+		t.Fatal("orphan reclaimed before the grace period expired")
+	}
+	env.RunFor(2 * time.Minute) // past the grace
+	if m.OrphansReclaimed != 1 {
+		t.Fatalf("orphans reclaimed = %d, want 1", m.OrphansReclaimed)
+	}
+	if _, ok := m.Block(1); !ok {
+		t.Fatal("referenced block was reclaimed")
+	}
+	if _, ok := m.Block(2); ok {
+		t.Fatal("orphaned block survived the grace period")
+	}
+}

@@ -1,0 +1,206 @@
+package chaos
+
+import (
+	"math/rand"
+	"time"
+
+	"hopsfscl/internal/core"
+	"hopsfscl/internal/simnet"
+)
+
+// The campaign generator derives random fault schedules that are
+// safe by construction: with three-way metadata replication and one
+// replica per zone, the rules below guarantee that every NDB node group
+// keeps at least one live member at all times, so campaigns probe
+// availability and recovery — not unsurvivable data loss, which the
+// paper's deployment (and any real one) cannot mask either.
+//
+// The safety argument, fault kind by fault kind:
+//
+//   - fail-zone removes one replica from every group. It never overlaps
+//     another fail-zone, a partition, a crash-dn, or a lossy link, so the
+//     other two replicas of every group stay up and connected.
+//   - partition triggers arbitration; the winner is the side that reaches
+//     the arbitrator (the first live management node, M1 in zone 1), so
+//     exactly one side survives and it spans at least one member of every
+//     group. Partitions never overlap zone faults, node crashes, lossy
+//     links, or each other.
+//   - crash-dn removes one member of one group, and never overlaps any
+//     fault that could take another member of that group.
+//   - kill-nn only touches metadata servers; at most one is down at a
+//     time, so the election always has a quorum of candidates.
+//   - slow-link stretches latency but stays far below the heartbeat and
+//     RPC timeouts, so it cannot cause spurious failure declarations.
+//   - lossy-link can cause spurious declarations and even
+//     suicide-by-arbitration, but the casualties are confined to the two
+//     zones of the lossy pair — the third zone's replica survives — and
+//     the restore step sweeps the casualties back in.
+
+// genWeight is the relative frequency of each degrading fault kind.
+var genKinds = []struct {
+	kind   FaultKind
+	weight int
+}{
+	{FaultFailZone, 20},
+	{FaultPartition, 20},
+	{FaultKillNN, 20},
+	{FaultCrashDN, 15},
+	{FaultSlowLink, 15},
+	{FaultLossyLink, 10},
+}
+
+// interval is one placed fault's active window, for conflict checking.
+type interval struct {
+	kind     FaultKind
+	from, to time.Duration
+	zone     simnet.ZoneID
+	zoneB    simnet.ZoneID
+	node     int
+}
+
+// conflicts lists, per fault kind, the kinds it must never overlap.
+var conflicts = map[FaultKind][]FaultKind{
+	FaultFailZone:  {FaultFailZone, FaultPartition, FaultCrashDN, FaultLossyLink, FaultKillNN},
+	FaultPartition: {FaultFailZone, FaultPartition, FaultCrashDN, FaultLossyLink},
+	FaultCrashDN:   {FaultFailZone, FaultPartition, FaultCrashDN, FaultLossyLink},
+	FaultKillNN:    {FaultKillNN, FaultFailZone},
+	FaultSlowLink:  {FaultSlowLink, FaultLossyLink},
+	FaultLossyLink: {FaultFailZone, FaultPartition, FaultCrashDN, FaultSlowLink, FaultLossyLink},
+}
+
+// recovery maps each degrading kind to its restoring counterpart.
+var recovery = map[FaultKind]FaultKind{
+	FaultFailZone:  FaultRecoverZone,
+	FaultPartition: FaultHeal,
+	FaultCrashDN:   FaultRejoinDN,
+	FaultKillNN:    FaultRestartNN,
+	FaultSlowLink:  FaultRestoreLink,
+	FaultLossyLink: FaultRestoreLink,
+}
+
+// conflictMargin separates conflicting faults in time, so detection and
+// arbitration from one fault fully settle before the next lands.
+const conflictMargin = 500 * time.Millisecond
+
+// Generate derives a random but safe-by-construction campaign for the
+// deployment: faults degrading steps, each paired with its recovery, all
+// landing within the first 70% of the duration so the campaign ends with
+// a recovered, auditable cluster. Same deployment shape and seed — same
+// schedule.
+func Generate(d *core.Deployment, seed int64, duration time.Duration, faults int) Schedule {
+	rng := rand.New(rand.NewSource(seed*2654435761 + 97))
+	multiZone := d.Setup.Zones == 3
+	lossyOK := d.Setup.MetaReplication >= 3
+	nns := len(d.NS.NameNodes())
+	dns := len(d.DB.DataNodes())
+
+	var placed []interval
+	var sched Schedule
+
+	totalWeight := 0
+	for _, k := range genKinds {
+		if !multiZone && (k.kind == FaultFailZone || k.kind == FaultPartition ||
+			k.kind == FaultSlowLink || k.kind == FaultLossyLink) {
+			continue
+		}
+		if !lossyOK && k.kind == FaultLossyLink {
+			continue
+		}
+		totalWeight += k.weight
+	}
+	if totalWeight == 0 || faults <= 0 {
+		return sched
+	}
+
+	drawKind := func() FaultKind {
+		n := rng.Intn(totalWeight)
+		for _, k := range genKinds {
+			if !multiZone && (k.kind == FaultFailZone || k.kind == FaultPartition ||
+				k.kind == FaultSlowLink || k.kind == FaultLossyLink) {
+				continue
+			}
+			if !lossyOK && k.kind == FaultLossyLink {
+				continue
+			}
+			if n < k.weight {
+				return k.kind
+			}
+			n -= k.weight
+		}
+		return FaultCrashDN
+	}
+
+	overlaps := func(iv interval) bool {
+		bad := conflicts[iv.kind]
+		for _, p := range placed {
+			if p.to+conflictMargin <= iv.from || iv.to+conflictMargin <= p.from {
+				continue
+			}
+			for _, k := range bad {
+				if p.kind == k {
+					return true
+				}
+			}
+			// Never stack two faults on the identical target even when the
+			// kinds are compatible (e.g. slow-link twice on the same pair).
+			if p.kind == iv.kind && p.zone == iv.zone && p.zoneB == iv.zoneB && p.node == iv.node {
+				return true
+			}
+		}
+		return false
+	}
+
+	earliest := 2 * time.Second
+	latestEnd := duration * 7 / 10
+	for placedFaults := 0; placedFaults < faults; {
+		kind := drawKind()
+		ok := false
+		for try := 0; try < 20; try++ {
+			start := earliest + time.Duration(rng.Int63n(int64(duration*55/100-earliest)))
+			dur := 3*time.Second + time.Duration(rng.Int63n(int64(5*time.Second)))
+			if kind == FaultLossyLink && dur > 6*time.Second {
+				dur = 6 * time.Second
+			}
+			if start+dur > latestEnd {
+				continue
+			}
+			iv := interval{kind: kind, from: start, to: start + dur}
+			st := Step{At: start, Kind: kind}
+			rec := Step{At: start + dur, Kind: recovery[kind]}
+			switch kind {
+			case FaultFailZone:
+				iv.zone = simnet.ZoneID(1 + rng.Intn(3))
+				st.Zone, rec.Zone = iv.zone, iv.zone
+			case FaultPartition, FaultSlowLink, FaultLossyLink:
+				pairs := [][2]simnet.ZoneID{{1, 2}, {1, 3}, {2, 3}}
+				pr := pairs[rng.Intn(len(pairs))]
+				iv.zone, iv.zoneB = pr[0], pr[1]
+				st.Zone, st.ZoneB = pr[0], pr[1]
+				rec.Zone, rec.ZoneB = pr[0], pr[1]
+				if kind == FaultSlowLink {
+					st.Factor = 2 + 6*rng.Float64()
+				}
+				if kind == FaultLossyLink {
+					st.Loss = 0.05 + 0.10*rng.Float64()
+				}
+			case FaultKillNN:
+				iv.node = 1 + rng.Intn(nns)
+				st.Node, rec.Node = iv.node, iv.node
+			case FaultCrashDN:
+				iv.node = rng.Intn(dns)
+				st.Node, rec.Node = iv.node, iv.node
+			}
+			if overlaps(iv) {
+				continue
+			}
+			placed = append(placed, iv)
+			sched = append(sched, st, rec)
+			ok = true
+			break
+		}
+		placedFaults++ // count the attempt even if unplaceable: terminate
+		_ = ok
+	}
+	sched.Sort()
+	return sched
+}

@@ -1,0 +1,247 @@
+// Package chaos is a deterministic fault-campaign engine for the simulated
+// HopsFS-CL deployment. It generalizes the paper's §V-F failure drills
+// (AZ loss, split brain, NN loss) into systematic, seeded fault
+// exploration in the style of Jepsen and deterministic-simulation testing:
+//
+//   - a fault scheduler executes declarative schedules — {at, kind,
+//     target} steps for node crash/rejoin, zone failure/recovery, zone
+//     partition/heal, NN kill/restart, and slow-link / lossy-link
+//     degradation — and a seeded generator derives safe-by-construction
+//     random campaigns so `go test` can sweep many seeds reproducibly;
+//   - a cross-layer invariant auditor quiesces the workload at
+//     checkpoints and verifies NDB group liveness, durable-epoch
+//     monotonicity, the §IV-C one-replica-per-AZ block guarantee,
+//     namespace/block-layer agreement, lock hygiene, and leader
+//     uniqueness;
+//   - an operation-history checker records every client operation on
+//     virtual time, verifies the observed results against a sequential
+//     namespace model (acked writes are never lost, reads never return
+//     dropped data), and reports MTTR, unavailability windows, and
+//     failed-operation counts.
+//
+// Everything runs on virtual time inside internal/sim: the same seed
+// always produces byte-identical reports.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hopsfscl/internal/simnet"
+)
+
+// FaultKind names one fault-injection (or recovery) action.
+type FaultKind string
+
+// The fault vocabulary. Every degrading kind has a restoring counterpart;
+// generated campaigns always schedule the pair.
+const (
+	// FaultCrashDN crashes one NDB datanode (target: datanode index).
+	FaultCrashDN FaultKind = "crash-dn"
+	// FaultRejoinDN rejoins a crashed NDB datanode: it resyncs its node
+	// group's partitions from the surviving primaries.
+	FaultRejoinDN FaultKind = "rejoin-dn"
+	// FaultFailZone fails a whole availability zone: its NDB datanodes,
+	// metadata servers, and block datanodes all go down.
+	FaultFailZone FaultKind = "fail-zone"
+	// FaultRecoverZone brings a failed zone back.
+	FaultRecoverZone FaultKind = "recover-zone"
+	// FaultPartition severs the network between two zones (and opens a
+	// fresh arbitration epoch, as a real membership change would).
+	FaultPartition FaultKind = "partition"
+	// FaultHeal restores the network between two zones.
+	FaultHeal FaultKind = "heal"
+	// FaultKillNN kills one metadata server (target: 1-based NN id).
+	FaultKillNN FaultKind = "kill-nn"
+	// FaultRestartNN restarts a killed metadata server.
+	FaultRestartNN FaultKind = "restart-nn"
+	// FaultSlowLink multiplies the latency between two zones.
+	FaultSlowLink FaultKind = "slow-link"
+	// FaultLossyLink drops messages between two zones with a probability.
+	FaultLossyLink FaultKind = "lossy-link"
+	// FaultRestoreLink removes any degradation between two zones.
+	FaultRestoreLink FaultKind = "restore-link"
+)
+
+// Degrades reports whether the kind injects a fault rather than repairs
+// one; reporting harnesses use it to count a schedule's degrading steps.
+func (k FaultKind) Degrades() bool { return k.degrades() }
+
+// degrades reports whether the kind injects a fault (true) or recovers
+// from one (false). Only degrading steps start an MTTR clock.
+func (k FaultKind) degrades() bool {
+	switch k {
+	case FaultRejoinDN, FaultRecoverZone, FaultHeal, FaultRestartNN, FaultRestoreLink:
+		return false
+	}
+	return true
+}
+
+// Step is one scheduled action of a campaign.
+type Step struct {
+	At   time.Duration
+	Kind FaultKind
+
+	// Zone is the target zone (fail-zone, recover-zone) or the first zone
+	// of a pair (partition, heal, slow-link, lossy-link, restore-link).
+	Zone simnet.ZoneID
+	// ZoneB is the second zone of a pair.
+	ZoneB simnet.ZoneID
+	// Node targets a node: the NDB datanode index for crash-dn/rejoin-dn,
+	// the 1-based metadata-server id for kill-nn/restart-nn.
+	Node int
+	// Factor is the slow-link latency multiplier.
+	Factor float64
+	// Loss is the lossy-link drop probability.
+	Loss float64
+}
+
+// String renders the step in the schedule-file syntax (see ParseSchedule).
+func (s Step) String() string {
+	switch s.Kind {
+	case FaultCrashDN, FaultRejoinDN, FaultKillNN, FaultRestartNN:
+		return fmt.Sprintf("at %v %s %d", s.At, s.Kind, s.Node)
+	case FaultFailZone, FaultRecoverZone:
+		return fmt.Sprintf("at %v %s %d", s.At, s.Kind, s.Zone)
+	case FaultSlowLink:
+		return fmt.Sprintf("at %v %s %d %d %g", s.At, s.Kind, s.Zone, s.ZoneB, s.Factor)
+	case FaultLossyLink:
+		return fmt.Sprintf("at %v %s %d %d %g", s.At, s.Kind, s.Zone, s.ZoneB, s.Loss)
+	default: // partition, heal, restore-link
+		return fmt.Sprintf("at %v %s %d %d", s.At, s.Kind, s.Zone, s.ZoneB)
+	}
+}
+
+// Schedule is a campaign: steps executed in time order.
+type Schedule []Step
+
+// Sort orders the schedule by time (stable, so same-instant steps keep
+// their declaration order).
+func (s Schedule) Sort() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
+}
+
+// End returns the time of the last step.
+func (s Schedule) End() time.Duration {
+	var end time.Duration
+	for _, st := range s {
+		if st.At > end {
+			end = st.At
+		}
+	}
+	return end
+}
+
+// Render returns the schedule in the schedule-file syntax.
+func (s Schedule) Render() string {
+	var b strings.Builder
+	for _, st := range s {
+		b.WriteString(st.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseSchedule reads a campaign from the line-oriented schedule syntax:
+//
+//	# comment
+//	at 5s   fail-zone 2
+//	at 12s  recover-zone 2
+//	at 15s  partition 1 3
+//	at 20s  heal 1 3
+//	at 22s  kill-nn 2
+//	at 26s  restart-nn 2
+//	at 28s  crash-dn 4
+//	at 31s  rejoin-dn 4
+//	at 33s  slow-link 1 2 4
+//	at 34s  lossy-link 2 3 0.2
+//	at 36s  restore-link 1 2
+//
+// Durations use Go syntax (5s, 500ms). Zones are 1-based zone ids;
+// crash-dn/rejoin-dn take an NDB datanode index, kill-nn/restart-nn a
+// 1-based metadata-server id.
+func ParseSchedule(text string) (Schedule, error) {
+	var sched Schedule
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 || f[0] != "at" {
+			return nil, fmt.Errorf("chaos: line %d: want `at <duration> <kind> <args>`, got %q", ln+1, raw)
+		}
+		at, err := time.ParseDuration(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("chaos: line %d: bad duration %q: %v", ln+1, f[1], err)
+		}
+		st := Step{At: at, Kind: FaultKind(f[2])}
+		args := f[3:]
+		num := func(i int) (int, error) {
+			if i >= len(args) {
+				return 0, fmt.Errorf("chaos: line %d: %s needs more arguments", ln+1, st.Kind)
+			}
+			return strconv.Atoi(args[i])
+		}
+		fl := func(i int) (float64, error) {
+			if i >= len(args) {
+				return 0, fmt.Errorf("chaos: line %d: %s needs more arguments", ln+1, st.Kind)
+			}
+			return strconv.ParseFloat(args[i], 64)
+		}
+		switch st.Kind {
+		case FaultCrashDN, FaultRejoinDN, FaultKillNN, FaultRestartNN:
+			n, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			st.Node = n
+		case FaultFailZone, FaultRecoverZone:
+			z, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			st.Zone = simnet.ZoneID(z)
+		case FaultPartition, FaultHeal, FaultRestoreLink:
+			a, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			b, err := num(1)
+			if err != nil {
+				return nil, err
+			}
+			st.Zone, st.ZoneB = simnet.ZoneID(a), simnet.ZoneID(b)
+		case FaultSlowLink, FaultLossyLink:
+			a, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			b, err := num(1)
+			if err != nil {
+				return nil, err
+			}
+			v, err := fl(2)
+			if err != nil {
+				return nil, err
+			}
+			st.Zone, st.ZoneB = simnet.ZoneID(a), simnet.ZoneID(b)
+			if st.Kind == FaultSlowLink {
+				st.Factor = v
+			} else {
+				st.Loss = v
+			}
+		default:
+			return nil, fmt.Errorf("chaos: line %d: unknown fault kind %q", ln+1, f[2])
+		}
+		sched = append(sched, st)
+	}
+	sched.Sort()
+	return sched, nil
+}

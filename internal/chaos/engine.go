@@ -1,0 +1,656 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hopsfscl/internal/core"
+	"hopsfscl/internal/namenode"
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/simnet"
+)
+
+// Config parameterizes a campaign run.
+type Config struct {
+	// Clients is the number of sole-mutator workload clients (default 6).
+	Clients int
+	// Duration is the campaign length on virtual time. Zero derives it
+	// from the schedule: last step plus a settle tail.
+	Duration time.Duration
+	// OpGap is the think time between a client's operations (default 2ms).
+	OpGap time.Duration
+	// LargeEvery makes every Nth create a block-layer file write
+	// (default 20; 0 disables large writes).
+	LargeEvery int
+	// LargeSize is the large-file size (default 256 KiB, one block).
+	LargeSize int64
+	// SettleAfterStep is how long the workload runs after each fault step
+	// before the engine quiesces and audits (default 500ms).
+	SettleAfterStep time.Duration
+	// AuditBudget bounds the quiesce drain. It must exceed the slowest
+	// possible in-flight operation (a block transfer timeout), or a merely
+	// slow operation would be misreported as a stuck transaction
+	// (default 45s).
+	AuditBudget time.Duration
+	// LeaderSettle is the quiet time after the last fault before leader
+	// uniqueness is audited: election rows expire after 5s and rounds run
+	// every 2s, so views need several seconds to converge (default 10s).
+	LeaderSettle time.Duration
+	// GapThreshold classifies unavailability: any gap between consecutive
+	// successful operations longer than this counts as an outage window
+	// (default 400ms — far above the healthy op cadence).
+	GapThreshold time.Duration
+	// Seed seeds the workload's operation mix (independent from the
+	// deployment seed so the two can be varied separately).
+	Seed int64
+}
+
+func (c Config) withDefaults(sched Schedule) Config {
+	if c.Clients <= 0 {
+		c.Clients = 6
+	}
+	if c.OpGap <= 0 {
+		c.OpGap = 2 * time.Millisecond
+	}
+	if c.LargeEvery < 0 {
+		c.LargeEvery = 0
+	}
+	if c.LargeEvery == 0 {
+		c.LargeEvery = 20
+	}
+	if c.LargeSize <= 0 {
+		c.LargeSize = 256 << 10
+	}
+	if c.SettleAfterStep <= 0 {
+		c.SettleAfterStep = 500 * time.Millisecond
+	}
+	if c.AuditBudget <= 0 {
+		c.AuditBudget = 45 * time.Second
+	}
+	if c.LeaderSettle <= 0 {
+		c.LeaderSettle = 10 * time.Second
+	}
+	if c.GapThreshold <= 0 {
+		c.GapThreshold = 400 * time.Millisecond
+	}
+	if c.Duration <= 0 {
+		c.Duration = sched.End() + c.LeaderSettle + 2*time.Second
+		if c.Duration < 20*time.Second {
+			c.Duration = 20 * time.Second
+		}
+	}
+	return c
+}
+
+// Snapshot captures cluster state at one campaign checkpoint, for
+// drill-style reporting.
+type Snapshot struct {
+	Label     string
+	Now       time.Duration
+	OpsPerSec float64 // successful ops/s since the previous snapshot
+	LiveNDB   int
+	TotalNDB  int
+	LeaderID  int // 0 when no leader is elected
+	NewViol   int // violations found at this checkpoint
+}
+
+// Engine drives one fault campaign over a deployment: it runs the
+// sole-mutator workload, executes the schedule, audits invariants at
+// checkpoints, and verifies the operation history.
+type Engine struct {
+	d     *core.Deployment
+	cfg   Config
+	sched Schedule
+	aud   *Auditor
+
+	agents  []*agent
+	records []Record
+	paused  bool
+	stopped bool
+	// pauses are the audit quiesce windows: the workload is deliberately
+	// stopped, so they are excluded from availability accounting.
+	pauses []Window
+
+	// fault-state tracking for the settled gate.
+	downZones map[simnet.ZoneID]bool
+	downNNs   map[int]bool
+	downDNs   map[int]bool
+	parts     map[[2]simnet.ZoneID]bool
+	degr      map[[2]simnet.ZoneID]bool
+	lastFault time.Duration
+
+	snapshots []Snapshot
+	lastSnap  struct {
+		at time.Duration
+		ok int
+	}
+	marks []mark // fault injections, for MTTR
+}
+
+// mark is one degrading step's injection time.
+type mark struct {
+	step Step
+	at   time.Duration
+}
+
+// NewEngine prepares a campaign over an existing deployment. The
+// deployment must be a HopsFS variant (the auditor inspects NDB state).
+func NewEngine(d *core.Deployment, sched Schedule, cfg Config) (*Engine, error) {
+	if d.DB == nil || d.NS == nil {
+		return nil, fmt.Errorf("chaos: deployment has no NDB/namenode stack")
+	}
+	e := &Engine{
+		d:         d,
+		cfg:       cfg.withDefaults(sched),
+		sched:     append(Schedule{}, sched...),
+		aud:       NewAuditor(d),
+		downZones: make(map[simnet.ZoneID]bool),
+		downNNs:   make(map[int]bool),
+		downDNs:   make(map[int]bool),
+		parts:     make(map[[2]simnet.ZoneID]bool),
+		degr:      make(map[[2]simnet.ZoneID]bool),
+	}
+	e.sched.Sort()
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Engine) validate() error {
+	nns := len(e.d.NS.NameNodes())
+	dns := len(e.d.DB.DataNodes())
+	zones := e.d.Net.Topology().Zones()
+	for _, st := range e.sched {
+		switch st.Kind {
+		case FaultKillNN, FaultRestartNN:
+			if st.Node < 1 || st.Node > nns {
+				return fmt.Errorf("chaos: step %q: no metadata server %d", st, st.Node)
+			}
+		case FaultCrashDN, FaultRejoinDN:
+			if st.Node < 0 || st.Node >= dns {
+				return fmt.Errorf("chaos: step %q: no NDB datanode %d", st, st.Node)
+			}
+		case FaultFailZone, FaultRecoverZone:
+			if int(st.Zone) < 1 || int(st.Zone) > zones {
+				return fmt.Errorf("chaos: step %q: no zone %d", st, st.Zone)
+			}
+		case FaultPartition, FaultHeal, FaultSlowLink, FaultLossyLink, FaultRestoreLink:
+			if int(st.Zone) < 1 || int(st.Zone) > zones || int(st.ZoneB) < 1 || int(st.ZoneB) > zones || st.Zone == st.ZoneB {
+				return fmt.Errorf("chaos: step %q: bad zone pair", st)
+			}
+		default:
+			return fmt.Errorf("chaos: unknown fault kind %q", st.Kind)
+		}
+	}
+	return nil
+}
+
+// Run executes the campaign and returns its report.
+func (e *Engine) Run() (*Report, error) {
+	env := e.d.Env
+	e.spawnAgents()
+	// Warm up: let the clients build their directories and election
+	// complete before the first fault.
+	env.RunFor(2 * time.Second)
+	for _, a := range e.agents {
+		if a.setupErr != nil {
+			return nil, fmt.Errorf("chaos: client %d setup failed: %w", a.idx, a.setupErr)
+		}
+	}
+	start := env.Now()
+	e.lastSnap.at = start
+	e.checkpoint("baseline")
+
+	for _, st := range e.sched {
+		target := start + st.At
+		if now := env.Now(); target > now {
+			env.RunFor(target - now)
+		}
+		if err := e.apply(st); err != nil {
+			return nil, err
+		}
+		env.RunFor(e.cfg.SettleAfterStep)
+		e.checkpoint(st.String())
+	}
+
+	end := start + e.cfg.Duration
+	if now := env.Now(); end > now {
+		env.RunFor(end - now)
+	}
+	e.checkpoint("final")
+	e.stopped = true
+	env.RunFor(10 * time.Millisecond)
+
+	return e.report(start, env.Now()), nil
+}
+
+// apply executes one schedule step. Recovery actions that need simulated
+// time (datanode resync) run in spawned processes, concurrently with the
+// workload — recovery time is part of what campaigns measure.
+func (e *Engine) apply(st Step) error {
+	d := e.d
+	now := d.Env.Now()
+	if st.Kind.degrades() {
+		e.marks = append(e.marks, mark{step: st, at: now})
+		d.Registry.Counter("chaos.faults", "kind", string(st.Kind)).Add(1)
+	}
+	e.lastFault = now
+	switch st.Kind {
+	case FaultFailZone:
+		e.downZones[st.Zone] = true
+		d.DB.FailZone(st.Zone)
+		for _, nn := range d.NS.NameNodes() {
+			if nn.Node.Zone() == st.Zone {
+				nn.Fail()
+			}
+		}
+		if d.Blocks != nil {
+			for _, dn := range d.Blocks.DataNodes() {
+				if dn.Node.Zone() == st.Zone {
+					dn.Node.Fail()
+				}
+			}
+		}
+	case FaultRecoverZone:
+		delete(e.downZones, st.Zone)
+		z := st.Zone
+		d.Env.Spawn("chaos-recover-zone", func(p *sim.Proc) {
+			d.DB.RecoverZone(p, z)
+			for _, nn := range d.NS.NameNodes() {
+				if nn.Node.Zone() == z {
+					nn.Recover()
+				}
+			}
+			if d.Blocks != nil {
+				for _, dn := range d.Blocks.DataNodes() {
+					if dn.Node.Zone() == z {
+						dn.Node.Recover()
+					}
+				}
+			}
+			e.rejoinStragglers(p)
+		})
+	case FaultPartition:
+		e.parts[zpair(st.Zone, st.ZoneB)] = true
+		d.DB.NextArbitrationEpoch()
+		d.Net.Partition(st.Zone, st.ZoneB)
+	case FaultHeal:
+		delete(e.parts, zpair(st.Zone, st.ZoneB))
+		d.Net.Heal(st.Zone, st.ZoneB)
+		// Arbitration losers shut themselves down during the partition and
+		// stay down after the network heals; sweep them back in, as an
+		// operator restarting the losing side would.
+		d.Env.Spawn("chaos-heal-rejoin", e.rejoinStragglers)
+	case FaultKillNN:
+		e.downNNs[st.Node] = true
+		d.NS.NameNodes()[st.Node-1].Fail()
+	case FaultRestartNN:
+		delete(e.downNNs, st.Node)
+		d.NS.NameNodes()[st.Node-1].Recover()
+	case FaultCrashDN:
+		e.downDNs[st.Node] = true
+		d.DB.DataNodes()[st.Node].Node.Fail()
+	case FaultRejoinDN:
+		delete(e.downDNs, st.Node)
+		dn := d.DB.DataNodes()[st.Node]
+		d.Env.Spawn("chaos-rejoin-dn", func(p *sim.Proc) { d.DB.Rejoin(p, dn) })
+	case FaultSlowLink:
+		e.degr[zpair(st.Zone, st.ZoneB)] = true
+		d.Net.DegradeLink(st.Zone, st.ZoneB, st.Factor, 0)
+	case FaultLossyLink:
+		e.degr[zpair(st.Zone, st.ZoneB)] = true
+		d.Net.DegradeLink(st.Zone, st.ZoneB, 1, st.Loss)
+	case FaultRestoreLink:
+		delete(e.degr, zpair(st.Zone, st.ZoneB))
+		d.Net.RestoreLink(st.Zone, st.ZoneB)
+		// Lossy links can trick the heartbeat ring into spurious failure
+		// declarations (and even suicide-by-arbitration); sweep the
+		// casualties back in once the link is clean.
+		d.Env.Spawn("chaos-restore-rejoin", e.rejoinStragglers)
+	}
+	return nil
+}
+
+// rejoinStragglers rejoins every storage node that is down without the
+// schedule saying so: arbitration losers after a partition, and heartbeat
+// false-positives after a lossy link. Nodes in deliberately failed zones
+// or deliberately crashed are left alone.
+func (e *Engine) rejoinStragglers(p *sim.Proc) {
+	for i, dn := range e.d.DB.DataNodes() {
+		if e.downDNs[i] || e.downZones[dn.Node.Zone()] {
+			continue
+		}
+		switch {
+		case !dn.Alive():
+			e.d.DB.Rejoin(p, dn)
+		case dn.DeclaredDead():
+			e.d.DB.Reinstate(p, dn)
+		}
+	}
+}
+
+func zpair(a, b simnet.ZoneID) [2]simnet.ZoneID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]simnet.ZoneID{a, b}
+}
+
+// settled reports whether no fault is active and the cluster has had time
+// to converge (elections re-run, detection complete).
+func (e *Engine) settled() bool {
+	if len(e.downZones) > 0 || len(e.downNNs) > 0 || len(e.downDNs) > 0 ||
+		len(e.parts) > 0 || len(e.degr) > 0 {
+		return false
+	}
+	return e.d.Env.Now()-e.lastFault >= e.cfg.LeaderSettle
+}
+
+// checkpoint quiesces the workload, audits invariants, records a
+// snapshot, and resumes.
+func (e *Engine) checkpoint(label string) {
+	pauseStart := e.d.Env.Now()
+	quiesced := e.quiesce()
+	viol := e.aud.Check(e.d.Env.Now(), quiesced, e.settled())
+	if !quiesced {
+		// The drain itself is an invariant: a workload that cannot drain
+		// within the budget means a transaction or lock is stuck.
+		v := Violation{Invariant: "txn-quiescence", Detail: fmt.Sprintf(
+			"workload failed to drain within %v at %q (stuck transaction or lock)", e.cfg.AuditBudget, label)}
+		viol = append(viol, v)
+		e.aud.Violations = append(e.aud.Violations, v)
+	}
+	e.pauses = append(e.pauses, Window{From: pauseStart, To: e.d.Env.Now()})
+	e.snapshot(label, len(viol))
+	e.paused = false
+}
+
+// pausedBetween returns how much of [from, to) the workload spent
+// deliberately paused for audits.
+func (e *Engine) pausedBetween(from, to time.Duration) time.Duration {
+	var total time.Duration
+	for _, w := range e.pauses {
+		lo, hi := w.From, w.To
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return total
+}
+
+// quiesce pauses the agents and runs the simulation until in-flight
+// operations, transactions, and row locks drain, within the audit budget.
+func (e *Engine) quiesce() bool {
+	e.paused = true
+	env := e.d.Env
+	deadline := env.Now() + e.cfg.AuditBudget
+	for {
+		if e.drained() {
+			return true
+		}
+		if env.Now() >= deadline {
+			return false
+		}
+		env.RunFor(2 * time.Millisecond)
+	}
+}
+
+// drained reports whether no agent operation, transaction, or row lock is
+// outstanding. Background elections keep running — their transactions are
+// short, so the polling loop always finds a clean instant between rounds.
+func (e *Engine) drained() bool {
+	for _, a := range e.agents {
+		if a.busy {
+			return false
+		}
+	}
+	return e.d.DB.InFlightTxns() == 0 && len(e.d.DB.HeldLocks()) == 0
+}
+
+func (e *Engine) snapshot(label string, newViol int) {
+	now := e.d.Env.Now()
+	ok := 0
+	for _, r := range e.records {
+		if r.Err == nil {
+			ok++
+		}
+	}
+	rate := 0.0
+	// Rate over the time the workload was actually allowed to run: audit
+	// pauses are not outages.
+	if dt := now - e.lastSnap.at - e.pausedBetween(e.lastSnap.at, now); dt > 0 {
+		rate = float64(ok-e.lastSnap.ok) / dt.Seconds()
+	}
+	live, total := 0, 0
+	for _, dn := range e.d.DB.DataNodes() {
+		total++
+		if dn.Alive() {
+			live++
+		}
+	}
+	leaderID := 0
+	if l := e.d.NS.ElectedLeader(); l != nil {
+		leaderID = l.ID
+	}
+	e.snapshots = append(e.snapshots, Snapshot{
+		Label: label, Now: now, OpsPerSec: rate,
+		LiveNDB: live, TotalNDB: total, LeaderID: leaderID, NewViol: newViol,
+	})
+	e.lastSnap.at = now
+	e.lastSnap.ok = ok
+}
+
+// spawnAgents starts the sole-mutator workload clients, spread over the
+// deployment's zones.
+func (e *Engine) spawnAgents() {
+	zones := e.d.Net.Topology().Zones()
+	aware := e.d.Setup.System == core.HopsFSCL
+	singleZone := e.d.Setup.Zones == 1
+	for i := 0; i < e.cfg.Clients; i++ {
+		z := simnet.ZoneID(1 + i%zones)
+		if singleZone {
+			z = 2
+		}
+		domain := simnet.ZoneUnset
+		if aware {
+			domain = z
+		}
+		a := &agent{
+			e:    e,
+			idx:  i,
+			cl:   e.d.NS.NewClient(z, simnet.HostID(9000+i), domain),
+			rng:  rand.New(rand.NewSource(e.cfg.Seed*1_000_003 + int64(i)*7919 + 13)),
+			dir:  fmt.Sprintf("/chaos/c%d", i),
+			st:   make(map[string]pathState),
+			byst: map[pathState][]string{},
+		}
+		e.agents = append(e.agents, a)
+		e.d.Env.Spawn(fmt.Sprintf("chaos-client-%d", i), a.run)
+	}
+}
+
+// agent is one sole-mutator workload client: it mutates only its own
+// directory and always creates fresh names, which is what makes the
+// recorded history checkable (see history.go).
+type agent struct {
+	e   *Engine
+	idx int
+	cl  *namenode.Client
+	rng *rand.Rand
+	dir string
+	seq int
+
+	st   map[string]pathState
+	byst map[pathState][]string
+
+	busy     bool
+	setup    bool
+	setupErr error
+}
+
+func (a *agent) run(p *sim.Proc) {
+	if err := a.cl.MkdirAll(p, a.dir); err != nil {
+		a.setupErr = err
+		return
+	}
+	a.setup = true
+	for !a.e.stopped {
+		if a.e.paused {
+			p.Sleep(time.Millisecond)
+			continue
+		}
+		a.busy = true
+		a.op(p)
+		a.busy = false
+		p.Sleep(a.e.cfg.OpGap)
+	}
+}
+
+// op runs one randomly drawn operation and records it.
+func (a *agent) op(p *sim.Proc) {
+	r := a.rng.Float64()
+	switch {
+	case r < 0.28:
+		a.create(p)
+	case r < 0.42:
+		a.remove(p)
+	case r < 0.56:
+		a.probe(p, "stat", stExists)
+	case r < 0.64:
+		a.probe(p, "statAbsent", stAbsent)
+	case r < 0.78:
+		a.probe(p, "read", stExists)
+	case r < 0.90:
+		a.list(p)
+	default:
+		a.rename(p)
+	}
+}
+
+// record logs the finished operation and advances the agent's model using
+// the same transition function the checker replays later.
+func (a *agent) record(op, path, path2 string, invoke time.Duration, err error) {
+	p := a.e.d.Env.Now()
+	a.e.records = append(a.e.records, Record{
+		Client: a.idx, Op: op, Path: path, Path2: path2,
+		Invoke: invoke, Return: p, Err: err,
+	})
+	if op == "list" || op == "mkdir" {
+		return
+	}
+	next, _ := transition(op, a.st[path], err)
+	a.setState(path, next)
+	if op == "rename" {
+		a.setState(path2, renameDst(a.st[path2], err))
+	}
+}
+
+func (a *agent) setState(path string, s pathState) {
+	prev, known := a.st[path]
+	if known && prev == s {
+		return
+	}
+	if known {
+		lst := a.byst[prev]
+		for i, q := range lst {
+			if q == path {
+				a.byst[prev] = append(lst[:i], lst[i+1:]...)
+				break
+			}
+		}
+	}
+	a.st[path] = s
+	a.byst[s] = append(a.byst[s], path)
+}
+
+// pick returns a random path in the given state ("" if none).
+func (a *agent) pick(s pathState) string {
+	lst := a.byst[s]
+	if len(lst) == 0 {
+		return ""
+	}
+	return lst[a.rng.Intn(len(lst))]
+}
+
+func (a *agent) create(p *sim.Proc) {
+	path := fmt.Sprintf("%s/f%06d", a.dir, a.seq)
+	a.seq++
+	invoke := p.Now()
+	if a.e.cfg.LargeEvery > 0 && a.seq%a.e.cfg.LargeEvery == 0 {
+		err := a.cl.WriteFile(p, path, a.e.cfg.LargeSize)
+		p.Flush()
+		a.record("write", path, "", invoke, err)
+		return
+	}
+	err := a.cl.Create(p, path, 200)
+	p.Flush()
+	a.record("create", path, "", invoke, err)
+}
+
+func (a *agent) remove(p *sim.Proc) {
+	path := a.pick(stExists)
+	if path == "" {
+		path = a.pick(stMaybe)
+	}
+	if path == "" {
+		a.create(p)
+		return
+	}
+	invoke := p.Now()
+	err := a.cl.Delete(p, path, false)
+	p.Flush()
+	a.record("delete", path, "", invoke, err)
+}
+
+// probe runs a read-only check against a path in the wanted state: stat
+// or read on a live file, or a stat on a definitely-deleted path (which
+// must fail with ErrNotFound — returning data would mean reading dropped
+// state).
+func (a *agent) probe(p *sim.Proc, op string, want pathState) {
+	path := a.pick(want)
+	if path == "" && want == stExists {
+		path = a.pick(stMaybe)
+	}
+	if path == "" {
+		a.create(p)
+		return
+	}
+	invoke := p.Now()
+	var err error
+	if op == "read" {
+		_, err = a.cl.ReadFile(p, path)
+	} else {
+		_, err = a.cl.Stat(p, path)
+	}
+	p.Flush()
+	a.record(op, path, "", invoke, err)
+}
+
+func (a *agent) list(p *sim.Proc) {
+	invoke := p.Now()
+	_, err := a.cl.List(p, a.dir)
+	p.Flush()
+	a.record("list", a.dir, "", invoke, err)
+}
+
+func (a *agent) rename(p *sim.Proc) {
+	src := a.pick(stExists)
+	if src == "" {
+		a.create(p)
+		return
+	}
+	dst := fmt.Sprintf("%s/r%06d", a.dir, a.seq)
+	a.seq++
+	invoke := p.Now()
+	err := a.cl.Rename(p, src, dst)
+	p.Flush()
+	a.record("rename", src, dst, invoke, err)
+}

@@ -1,0 +1,216 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"hopsfscl/internal/blocks"
+	"hopsfscl/internal/namenode"
+	"hopsfscl/internal/ndb"
+)
+
+// The history checker verifies client-observed results against a
+// sequential namespace model. It relies on the sole-mutator discipline the
+// engine's workload enforces: each chaos client mutates only its own
+// directory and always creates fresh names, so every response can be
+// resolved against what that client alone has done. Under that discipline
+// even ambiguous errors become informative — a create of a fresh name that
+// fails with ErrExists means our own lost-ack attempt applied.
+
+// Record is one client operation: invocation and response on virtual time.
+type Record struct {
+	Client int
+	Op     string // create, write, delete, stat, statAbsent, read, list, rename
+	Path   string
+	Path2  string // rename destination
+	Invoke time.Duration
+	Return time.Duration
+	Err    error
+}
+
+// pathState is the checker's knowledge of one path.
+type pathState int
+
+const (
+	stAbsent pathState = iota // definitely absent (never created, or deleted)
+	stExists                  // definitely exists (acked or observed)
+	stMaybe                   // unresolved: an indeterminate mutation touched it
+)
+
+func (s pathState) String() string {
+	switch s {
+	case stExists:
+		return "exists"
+	case stMaybe:
+		return "maybe"
+	default:
+		return "absent"
+	}
+}
+
+// indeterminate reports whether err leaves the operation's effect unknown:
+// the request may have been applied with the acknowledgment lost.
+func indeterminate(err error) bool {
+	return errors.Is(err, namenode.ErrNoNameNodes) ||
+		errors.Is(err, namenode.ErrRetriesExhausted) ||
+		errors.Is(err, ndb.ErrNodeUnavailable) ||
+		errors.Is(err, ndb.ErrLockTimeout) ||
+		errors.Is(err, blocks.ErrNoDatanodes) ||
+		errors.Is(err, blocks.ErrNoReplica)
+}
+
+// transition advances the sequential model for one operation on one path
+// and reports a violation kind ("" if consistent). It is shared by the
+// live workload (for choosing targets) and the post-hoc checker, so the
+// two can never disagree. For rename, it governs the source; the
+// destination is handled by renameDst.
+func transition(op string, prev pathState, err error) (next pathState, violation string) {
+	switch op {
+	case "create", "write":
+		switch {
+		case err == nil:
+			return stExists, ""
+		case errors.Is(err, namenode.ErrExists):
+			// Fresh name: only our own retried attempt can have created it.
+			return stExists, ""
+		case op == "write" && !indeterminate(err):
+			// Large write = create + stream + attach. A definite attach
+			// error still leaves the created (empty) inode behind, but the
+			// error may also come from the create leg: unresolvable.
+			return stMaybe, ""
+		case indeterminate(err):
+			return stMaybe, ""
+		default:
+			return prev, ""
+		}
+	case "delete":
+		switch {
+		case err == nil:
+			return stAbsent, ""
+		case errors.Is(err, namenode.ErrNotFound):
+			// Sole mutator: if anything removed it, it was our own
+			// lost-ack attempt (or it was already maybe/absent).
+			return stAbsent, ""
+		case indeterminate(err):
+			return stMaybe, ""
+		default:
+			return prev, ""
+		}
+	case "stat", "read", "statAbsent":
+		switch {
+		case err == nil:
+			if prev == stAbsent {
+				// After flagging, adopt the observation so one lost update
+				// is counted once, not on every subsequent read.
+				return stExists, "stale-read"
+			}
+			return stExists, ""
+		case errors.Is(err, namenode.ErrNotFound):
+			if prev == stExists {
+				return stAbsent, "acked-write-lost"
+			}
+			return stAbsent, ""
+		default:
+			// Availability failure: no knowledge gained.
+			return prev, ""
+		}
+	case "rename":
+		switch {
+		case err == nil:
+			return stAbsent, "" // source moved away
+		case indeterminate(err), errors.Is(err, namenode.ErrNotFound), errors.Is(err, namenode.ErrExists):
+			// ErrNotFound can mean our own retried rename applied; treat
+			// the source as unresolved rather than inferring success.
+			return stMaybe, ""
+		default:
+			return prev, ""
+		}
+	}
+	return prev, ""
+}
+
+// renameDst advances the model for a rename's destination path.
+func renameDst(prev pathState, err error) pathState {
+	switch {
+	case err == nil:
+		return stExists
+	case indeterminate(err), errors.Is(err, namenode.ErrNotFound), errors.Is(err, namenode.ErrExists):
+		return stMaybe
+	default:
+		return prev
+	}
+}
+
+// CheckResult summarizes a history verification.
+type CheckResult struct {
+	Ops        int
+	OK         int
+	Failed     int // definite failures (the namespace rejected the op)
+	Indet      int // indeterminate failures (timeouts, no reachable NN)
+	AckedLost  int // acked writes that later vanished
+	StaleReads int // reads that returned definitely-deleted data
+	Violations []Violation
+}
+
+// CheckHistory replays the recorded operations through the sequential
+// model, client by client, and returns every consistency violation. The
+// records must be in per-client program order (the engine appends them as
+// operations complete, and each client runs one operation at a time, so
+// appending order suffices).
+func CheckHistory(recs []Record) CheckResult {
+	var res CheckResult
+	states := make(map[int]map[string]pathState)
+	for _, r := range recs {
+		m := states[r.Client]
+		if m == nil {
+			m = make(map[string]pathState)
+			states[r.Client] = m
+		}
+		res.Ops++
+		switch {
+		case r.Err == nil:
+			res.OK++
+		case indeterminate(r.Err):
+			res.Indet++
+		default:
+			res.Failed++
+		}
+		if r.Op == "list" || r.Op == "mkdir" {
+			continue // availability only; no per-path claim checked
+		}
+		next, viol := transition(r.Op, m[r.Path], r.Err)
+		if viol != "" {
+			v := Violation{
+				Invariant: viol,
+				Detail: fmt.Sprintf("client %d %s %s at %v returned %s with path state %s",
+					r.Client, r.Op, r.Path, r.Return, errString(r.Err), m[r.Path]),
+			}
+			res.Violations = append(res.Violations, v)
+			if viol == "acked-write-lost" {
+				res.AckedLost++
+			} else {
+				res.StaleReads++
+			}
+		}
+		m[r.Path] = next
+		if r.Op == "rename" {
+			m[r.Path2] = renameDst(m[r.Path2], r.Err)
+		}
+	}
+	sort.Slice(res.Violations, func(i, j int) bool {
+		if res.Violations[i].Invariant != res.Violations[j].Invariant {
+			return res.Violations[i].Invariant < res.Violations[j].Invariant
+		}
+		return res.Violations[i].Detail < res.Violations[j].Detail
+	})
+	return res
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}

@@ -246,9 +246,18 @@ func (cl *Client) WriteFile(p *sim.Proc, path string, size int64) error {
 		ids = append(ids, b.ID)
 		remaining -= sz
 	}
-	return cl.do(p, "attachBlocks", 0, 0, func(nn *NameNode) error {
+	err := cl.do(p, "attachBlocks", 0, 0, func(nn *NameNode) error {
 		return nn.AttachBlocks(p, path, ids, size)
 	})
+	if err != nil && !errors.Is(err, ErrNoNameNodes) && !errors.Is(err, ErrRetriesExhausted) {
+		// The attach definitively failed (a namespace error, not a lost
+		// response), so the streamed blocks can never be referenced:
+		// release them now instead of waiting for orphan reclamation.
+		for _, id := range ids {
+			mgr.DeleteBlock(id)
+		}
+	}
+	return err
 }
 
 // ReadFile reads a file: the metadata operation plus inline data or block
@@ -307,26 +316,22 @@ func (cl *Client) List(p *sim.Proc, path string) ([]*Inode, error) {
 }
 
 // Delete removes a path, reclaiming block replicas after the metadata
-// transaction commits.
+// transaction commits. Reclamation happens on the server side of the RPC
+// (in HopsFS the NN queues invalidations as part of the delete), so a lost
+// response cannot leave the replicas orphaned.
 func (cl *Client) Delete(p *sim.Proc, path string, recursive bool) error {
-	var freed []blocks.BlockID
-	err := cl.do(p, "delete", 0, 0, func(nn *NameNode) error {
-		got, err := nn.Delete(p, path, recursive)
+	return cl.do(p, "delete", 0, 0, func(nn *NameNode) error {
+		freed, err := nn.Delete(p, path, recursive)
 		if err != nil {
 			return err
 		}
-		freed = got
+		if cl.ns.blockMgr != nil {
+			for _, id := range freed {
+				cl.ns.blockMgr.DeleteBlock(id)
+			}
+		}
 		return nil
 	})
-	if err != nil {
-		return err
-	}
-	if cl.ns.blockMgr != nil {
-		for _, id := range freed {
-			cl.ns.blockMgr.DeleteBlock(id)
-		}
-	}
-	return nil
 }
 
 // Rename atomically moves src to dst.

@@ -162,8 +162,28 @@ func NewNamesystem(db *ndb.Cluster, blockMgr *blocks.Manager, cfg Config) *Names
 	ns.seedRoot()
 	if blockMgr != nil {
 		blockMgr.SetLeaderCheck(func() bool { return ns.Leader() != nil })
+		blockMgr.SetReferencedCheck(ns.ReferencedBlocks)
 	}
 	return ns
+}
+
+// ReferencedBlocks returns the set of block ids attached to any committed
+// inode. The block layer's monitor uses it to reclaim orphans, and the
+// chaos auditor uses it to verify namespace/block-layer agreement. It reads
+// storage state directly (the leader NN's in-memory block map in HopsFS),
+// bypassing the transaction path.
+func (ns *Namesystem) ReferencedBlocks() map[blocks.BlockID]bool {
+	out := make(map[blocks.BlockID]bool)
+	ns.inodes.ForEachCommitted(func(_, _ string, val ndb.Value) {
+		ino, ok := val.(*Inode)
+		if !ok {
+			return
+		}
+		for _, id := range ino.Blocks {
+			out[id] = true
+		}
+	})
+	return out
 }
 
 // seedRoot installs "/" directly in storage (bootstrap, before any traffic).

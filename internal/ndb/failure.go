@@ -126,6 +126,16 @@ func (c *Cluster) handleSuspectedFailure(p *sim.Proc, detector, suspect *DataNod
 		// other side down; nothing more for the detector to do here.
 		return
 	}
+	if suspect.Alive() && c.reachable(detector, suspect) &&
+		c.net.Travel(p, detector.Node, suspect.Node, ackSize, c.cfg.RPCTimeout) &&
+		c.net.Travel(p, suspect.Node, detector.Node, ackSize, c.cfg.RPCTimeout) {
+		// Final direct probe before declaring: the suspect answers, so the
+		// missed heartbeats were a transient (a healed partition or a lossy
+		// spell), not a failure. Without this re-check a node whose misses
+		// accumulated during a partition would be declared dead moments
+		// after the network recovered.
+		return
+	}
 	c.declareDead(suspect)
 }
 
@@ -259,8 +269,33 @@ func (c *Cluster) Rejoin(p *sim.Proc, dn *DataNode) {
 	}
 	dn.Node.Recover()
 	dn.shutdown = false
-	// Copy every partition of the node's group from its current primary.
-	for _, t := range c.tables {
+	c.resync(p, dn)
+	dn.declaredDead = false
+	c.env.Spawn(dn.Node.Name()+"/server", func(sp *sim.Proc) { dn.serve(sp) })
+	c.env.Spawn(dn.Node.Name()+"/hb", func(sp *sim.Proc) { dn.heartbeatLoop(sp) })
+	c.env.Spawn(dn.Node.Name()+"/gcp", func(sp *sim.Proc) { dn.checkpointLoop(sp) })
+}
+
+// Reinstate clears a false failure declaration: a node that missed
+// heartbeats (lossy links) can be declared dead while still running. It is
+// excluded from its group's replica lists but its housekeeping processes
+// never exited, so rejoining it must not respawn them — it only resyncs
+// the partitions it missed and resumes as a backup.
+func (c *Cluster) Reinstate(p *sim.Proc, dn *DataNode) {
+	if !dn.Alive() || !dn.declaredDead {
+		return
+	}
+	c.resync(p, dn)
+	dn.declaredDead = false
+}
+
+// resync copies the current data of the node's group's partitions from the
+// surviving primaries (a full node restart recovery, charged as network
+// transfer). The caller's process is blocked for the duration.
+func (c *Cluster) resync(p *sim.Proc, dn *DataNode) {
+	// Sorted table order: each copy is a network transfer, and ranging the
+	// table map here would reorder events run to run.
+	for _, t := range c.Tables() {
 		for _, part := range t.partitions {
 			if part.group != dn.Group && !t.opts.FullyReplicated {
 				continue
@@ -282,10 +317,6 @@ func (c *Cluster) Rejoin(p *sim.Proc, dn *DataNode) {
 			}
 		}
 	}
-	dn.declaredDead = false
-	c.env.Spawn(dn.Node.Name()+"/server", func(sp *sim.Proc) { dn.serve(sp) })
-	c.env.Spawn(dn.Node.Name()+"/hb", func(sp *sim.Proc) { dn.heartbeatLoop(sp) })
-	c.env.Spawn(dn.Node.Name()+"/gcp", func(sp *sim.Proc) { dn.checkpointLoop(sp) })
 }
 
 // RecoverZone rejoins every datanode and management node of a zone after

@@ -2,6 +2,7 @@ package ndb
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -821,5 +822,85 @@ func TestEpochAdvances(t *testing.T) {
 	}
 	if c.DurableEpoch() >= c.CurrentEpoch() {
 		t.Fatalf("durable epoch %d not behind current %d", c.DurableEpoch(), c.CurrentEpoch())
+	}
+}
+
+// TestRepeatedCrashRestartEpochMonotone drives several whole-cluster
+// crash/restart cycles with writes in between and checks the global
+// checkpoint bookkeeping: the durable epoch never regresses across a
+// crash, the current epoch always stays ahead of it, and every write
+// acknowledged before a durable checkpoint survives every later crash.
+func TestRepeatedCrashRestartEpochMonotone(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("t", 64, TableOptions{})
+	var lastDurable uint64
+	for cycle := 0; cycle < 3; cycle++ {
+		key := fmt.Sprintf("k%d", cycle)
+		inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+			if err := tx.Insert(tbl, "p", key, "v"); err != nil {
+				return err
+			}
+			return tx.Commit()
+		})
+		// Let the write become durable, then crash.
+		env.RunFor(3 * c.cfg.GCPInterval)
+		if d := c.DurableEpoch(); d < lastDurable {
+			t.Fatalf("cycle %d: durable epoch regressed %d -> %d before crash", cycle, lastDurable, d)
+		}
+		env.Spawn("crash", func(p *sim.Proc) { c.CrashRestartCluster(p) })
+		env.RunFor(2 * time.Second)
+		if d := c.DurableEpoch(); d < lastDurable {
+			t.Fatalf("cycle %d: durable epoch regressed %d -> %d across crash", cycle, lastDurable, d)
+		}
+		lastDurable = c.DurableEpoch()
+		if cur := c.CurrentEpoch(); cur <= lastDurable {
+			t.Fatalf("cycle %d: current epoch %d not ahead of durable %d after restart", cycle, cur, lastDurable)
+		}
+		// Every previously durable write is still there.
+		for i := 0; i <= cycle; i++ {
+			want := fmt.Sprintf("k%d", i)
+			inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+				v, ok, err := tx.ReadCommitted(tbl, "p", want)
+				if err != nil {
+					return err
+				}
+				if !ok || v != "v" {
+					t.Errorf("cycle %d: durable row %s lost across crash: (%v,%v)", cycle, want, v, ok)
+				}
+				return tx.Commit()
+			})
+		}
+	}
+}
+
+// TestReinstateClearsFalseDeclaration covers the lossy-network case: a
+// node declared dead on missed heartbeats while still running. Reinstate
+// clears the declaration without respawning its housekeeping processes,
+// and the cluster keeps committing throughout.
+func TestReinstateClearsFalseDeclaration(t *testing.T) {
+	env, c, client := testCluster(t, true, 3)
+	tbl := c.CreateTable("t", 64, TableOptions{})
+	victim := c.DataNodes()[1]
+	c.DeclareDeadForTest(victim)
+	if !victim.DeclaredDead() || !victim.Alive() {
+		t.Fatalf("setup: want alive+declared-dead, got alive=%v declared=%v",
+			victim.Alive(), victim.DeclaredDead())
+	}
+	env.Spawn("reinstate", func(p *sim.Proc) { c.Reinstate(p, victim) })
+	env.RunFor(2 * time.Second)
+	if victim.DeclaredDead() {
+		t.Fatal("Reinstate did not clear the declaration")
+	}
+	inTxn(t, env, c, client, 1, tbl, "p", func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(tbl, "p", "k", "v"); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	// Reinstate on a healthy node is a no-op.
+	env.Spawn("noop", func(p *sim.Proc) { c.Reinstate(p, victim) })
+	env.RunFor(time.Second)
+	if victim.DeclaredDead() || !victim.Alive() {
+		t.Fatal("Reinstate perturbed a healthy node")
 	}
 }

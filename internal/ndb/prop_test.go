@@ -331,3 +331,211 @@ func TestPropReplicasAlwaysAliveAndPrimaryFirst(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPropPartitionHealSymmetry drives random partition/heal sequences
+// over the zone pairs and checks, after every step, that the partition
+// relation stays symmetric and reflexively clean (a zone is never
+// partitioned from itself), and that healing everything leaves no pair
+// partitioned and the cluster able to commit.
+func TestPropPartitionHealSymmetry(t *testing.T) {
+	prop := func(seed int64, script []byte) bool {
+		env := sim.New(seed)
+		defer env.Close()
+		net := simnet.New(env, simnet.USWest1())
+		cfg := DefaultConfig()
+		cfg.DataNodes = 6
+		cfg.Replication = 3
+		cfg.PartitionsPerTable = 8
+		mgmt := []Placement{{Zone: 1, Host: 200}, {Zone: 2, Host: 201}, {Zone: 3, Host: 202}}
+		c, err := New(env, net, cfg, SpreadPlacement(6, []simnet.ZoneID{1, 2, 3}, 0), mgmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := c.CreateTable("t", 64, TableOptions{})
+		client := net.NewNode("client", 1, 100)
+		pairs := [][2]simnet.ZoneID{{1, 2}, {1, 3}, {2, 3}}
+		ok := true
+		check := func() {
+			for z := simnet.ZoneID(1); z <= 3; z++ {
+				if net.Partitioned(z, z) {
+					t.Errorf("zone %d partitioned from itself", z)
+					ok = false
+				}
+			}
+			for _, pr := range pairs {
+				if net.Partitioned(pr[0], pr[1]) != net.Partitioned(pr[1], pr[0]) {
+					t.Errorf("partition relation asymmetric for %v", pr)
+					ok = false
+				}
+			}
+		}
+		for _, b := range script {
+			pr := pairs[int(b)%len(pairs)]
+			if b%2 == 0 {
+				c.NextArbitrationEpoch()
+				net.Partition(pr[0], pr[1])
+			} else {
+				net.Heal(pr[0], pr[1])
+			}
+			check()
+			env.RunFor(50 * time.Millisecond)
+		}
+		// Heal everything and rejoin arbitration casualties; the cluster
+		// must be whole and writable again.
+		for _, pr := range pairs {
+			net.Heal(pr[0], pr[1])
+		}
+		for _, pr := range pairs {
+			if net.Partitioned(pr[0], pr[1]) {
+				t.Errorf("pair %v still partitioned after heal", pr)
+				ok = false
+			}
+		}
+		env.Spawn("rejoin", func(p *sim.Proc) {
+			for _, dn := range c.DataNodes() {
+				if !dn.Alive() {
+					c.Rejoin(p, dn)
+				} else if dn.DeclaredDead() {
+					c.Reinstate(p, dn)
+				}
+			}
+		})
+		env.RunFor(5 * time.Second)
+		for _, dn := range c.DataNodes() {
+			if !dn.Alive() || dn.DeclaredDead() {
+				t.Errorf("datanode %d not restored after heal+rejoin", dn.Index)
+				ok = false
+			}
+		}
+		var commitErr error
+		env.Spawn("commit", func(p *sim.Proc) {
+			tx, err := c.Begin(p, client, 1, tbl, "pk")
+			if err != nil {
+				commitErr = err
+				return
+			}
+			if err := tx.Insert(tbl, "pk", "k", "v"); err != nil {
+				commitErr = err
+				return
+			}
+			commitErr = tx.Commit()
+		})
+		env.RunFor(5 * time.Second)
+		if commitErr != nil {
+			t.Errorf("cluster not writable after full heal: %v", commitErr)
+			ok = false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropNoHalfCommitUnderRepartition fires multi-row transactions (two
+// rows hashed to different partitions) while a background process keeps
+// re-partitioning and healing random zone pairs mid-flight. Whatever the
+// commit outcome, the two rows of each transaction must be present either
+// both or not at all — a mid-2PC partition may fail the transaction but
+// can never half-commit it.
+func TestPropNoHalfCommitUnderRepartition(t *testing.T) {
+	prop := func(seed int64, flips []byte) bool {
+		env := sim.New(seed)
+		defer env.Close()
+		net := simnet.New(env, simnet.USWest1())
+		cfg := DefaultConfig()
+		cfg.DataNodes = 6
+		cfg.Replication = 3
+		cfg.PartitionsPerTable = 8
+		mgmt := []Placement{{Zone: 1, Host: 200}, {Zone: 2, Host: 201}, {Zone: 3, Host: 202}}
+		c, err := New(env, net, cfg, SpreadPlacement(6, []simnet.ZoneID{1, 2, 3}, 0), mgmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := c.CreateTable("t", 64, TableOptions{ReadBackup: true})
+		client := net.NewNode("client", 1, 100)
+		pairs := [][2]simnet.ZoneID{{1, 2}, {1, 3}, {2, 3}}
+
+		// The flipper toggles partitions on a cadence chosen to land inside
+		// commit chains (2PC passes take a few hundred microseconds to a
+		// few milliseconds across zones).
+		env.Spawn("flipper", func(p *sim.Proc) {
+			for i, b := range flips {
+				pr := pairs[int(b)%len(pairs)]
+				c.NextArbitrationEpoch()
+				net.Partition(pr[0], pr[1])
+				p.Sleep(time.Duration(1+int(b)%5) * time.Millisecond)
+				net.Heal(pr[0], pr[1])
+				p.Sleep(time.Duration(1+i%3) * time.Millisecond)
+			}
+		})
+		type attempt struct {
+			keyA, keyB string
+			err        error
+		}
+		var attempts []attempt
+		env.Spawn("writer", func(p *sim.Proc) {
+			for i := 0; i < 2*len(flips)+4; i++ {
+				// Distinct partition keys so the two rows commit through
+				// two parallel chains.
+				a := attempt{keyA: fmt.Sprintf("a%d", i), keyB: fmt.Sprintf("b%d", i)}
+				tx, err := c.Begin(p, client, 1, tbl, a.keyA)
+				if err != nil {
+					a.err = err
+					attempts = append(attempts, a)
+					continue
+				}
+				if err := tx.Insert(tbl, a.keyA, "k", i); err == nil {
+					if err2 := tx.Insert(tbl, a.keyB, "k", i); err2 == nil {
+						a.err = tx.Commit()
+					} else {
+						a.err = err2
+						tx.Abort()
+					}
+				} else {
+					a.err = err
+					tx.Abort()
+				}
+				attempts = append(attempts, a)
+			}
+		})
+		env.RunFor(30 * time.Second)
+
+		// Heal and rejoin everything, then audit atomicity directly on
+		// committed state.
+		for _, pr := range pairs {
+			net.Heal(pr[0], pr[1])
+		}
+		env.Spawn("rejoin", func(p *sim.Proc) {
+			for _, dn := range c.DataNodes() {
+				if !dn.Alive() {
+					c.Rejoin(p, dn)
+				} else if dn.DeclaredDead() {
+					c.Reinstate(p, dn)
+				}
+			}
+		})
+		env.RunFor(5 * time.Second)
+
+		ok := true
+		exists := func(pk string) bool {
+			_, found := tbl.partitionFor(pk).committed(pk, "k")
+			return found
+		}
+		for _, a := range attempts {
+			hasA, hasB := exists(a.keyA), exists(a.keyB)
+			if hasA != hasB {
+				t.Errorf("half-commit: %s=%v %s=%v (commit err: %v)", a.keyA, hasA, a.keyB, hasB, a.err)
+				ok = false
+			}
+			if a.err == nil && !hasA {
+				t.Errorf("acked transaction %s/%s lost", a.keyA, a.keyB)
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -466,11 +466,14 @@ func (t *Txn) Commit() error {
 		// transaction's current effective instant.
 		t.p.Flush()
 	}
+	single := len(t.writes) == 1
 	for i := range t.writes {
 		w := &t.writes[i]
 		t.tc.use(t.p, TC, cfg.Costs.TCCommitRow)
-		if len(t.writes) == 1 {
-			err := t.commitChain(t.p, w, readBackupFor(w))
+		if single {
+			// A one-row transaction is trivially atomic: the chain applies
+			// the row at its commit point, as in Figure 2.
+			err := t.commitChain(t.p, w, readBackupFor(w), true)
 			t.p.Flush()
 			results.Send(err)
 			continue
@@ -480,7 +483,7 @@ func (t *Txn) Commit() error {
 		sp := t.p.Span()
 		t.c.env.Spawn("commit-chain", func(p *sim.Proc) {
 			p.SetSpan(sp)
-			err := t.commitChain(p, w, readBackupFor(w))
+			err := t.commitChain(p, w, readBackupFor(w), false)
 			p.Flush()
 			results.Send(err)
 		})
@@ -492,9 +495,22 @@ func (t *Txn) Commit() error {
 		}
 	}
 	if firstErr != nil {
+		// Atomic abort: with multi-row chains the staged writes were not
+		// applied (applyNow=false above), so a failure in any chain —
+		// e.g. a partition landing mid-2PC — leaves no half-commit.
 		t.releaseAll()
 		t.finish(false)
 		return firstErr
+	}
+	if !single {
+		// Atomic commit point: every chain prepared and committed its
+		// replicas; the staged rows of the whole transaction become
+		// visible at one instant, under the locks still held.
+		t.p.Flush()
+		for i := range t.writes {
+			w := &t.writes[i]
+			w.part.apply(w, t.id)
+		}
 	}
 	t.releaseAll()
 	t.finish(true)
@@ -512,7 +528,11 @@ func readBackupFor(w *writeOp) bool { return w.part.table.opts.ReadBackup }
 // commitChain runs the per-row linear 2PC of Figure 2, returning when the
 // TC may count this row as committed (after Committed, or after all
 // Completed messages under Read Backup).
-func (t *Txn) commitChain(p *sim.Proc, w *writeOp, readBackup bool) error {
+// applyNow selects whether the chain applies the row itself at its commit
+// point (one-row transactions) or leaves the staged write for the caller
+// to apply once every chain of the transaction has succeeded (multi-row
+// atomicity under mid-flight failures).
+func (t *Txn) commitChain(p *sim.Proc, w *writeOp, readBackup, applyNow bool) error {
 	cfg := &t.c.cfg
 	table := w.part.table
 	chain := w.part.replicas()
@@ -599,9 +619,12 @@ func (t *Txn) commitChain(p *sim.Proc, w *writeOp, readBackup bool) error {
 	}
 	// Synchronize with the virtual clock before the commit point: the
 	// primary applies the mutation and releases the row locks at the
-	// instant the Commit message actually reaches it.
+	// instant the Commit message actually reaches it. Multi-row
+	// transactions defer the apply to the transaction-wide commit point.
 	p.Flush()
-	w.part.apply(w, t.id)
+	if applyNow {
+		w.part.apply(w, t.id)
+	}
 	chain[0].send(p)
 	if !t.c.net.TravelDeferred(p, chain[0].Node, t.tc.Node, ackSize, cfg.RPCTimeout) {
 		return ErrNodeUnavailable

@@ -110,6 +110,12 @@ type Network struct {
 	// partitions marks unordered zone pairs whose traffic is dropped.
 	partitions map[[2]ZoneID]bool
 
+	// degraded marks unordered zone pairs whose traffic suffers extra
+	// latency and/or probabilistic loss (chaos fault injection). Kept in a
+	// separate map so the fast path pays only a len() check when no
+	// degradation is active, preserving the RNG stream of undisturbed runs.
+	degraded map[[2]ZoneID]*degradation
+
 	dropped int64
 
 	// obs holds pre-registered per-hop-class counters; nil when no metrics
@@ -129,6 +135,14 @@ type link struct {
 	messages int64
 }
 
+// degradation describes an impaired zone pair: one-way latency is scaled by
+// LatencyFactor (>= 1) and each message is independently dropped with
+// probability LossProb.
+type degradation struct {
+	LatencyFactor float64
+	LossProb      float64
+}
+
 // New returns a network over env with the given topology.
 func New(env *sim.Env, topo *Topology) *Network {
 	return &Network{
@@ -136,6 +150,7 @@ func New(env *sim.Env, topo *Topology) *Network {
 		topo:       topo,
 		links:      make(map[[2]ZoneID]*link),
 		partitions: make(map[[2]ZoneID]bool),
+		degraded:   make(map[[2]ZoneID]*degradation),
 	}
 }
 
@@ -289,6 +304,51 @@ func zonePair(a, b ZoneID) [2]ZoneID {
 	return [2]ZoneID{a, b}
 }
 
+// DegradeLink impairs the path between two zones (both directions): one-way
+// latency is multiplied by latencyFactor (values < 1 are clamped to 1) and
+// each message is independently dropped with probability lossProb. Used by
+// chaos campaigns to model gray failures: slow links and lossy links, the
+// failure modes between "healthy" and "partitioned".
+func (n *Network) DegradeLink(a, b ZoneID, latencyFactor, lossProb float64) {
+	if latencyFactor < 1 {
+		latencyFactor = 1
+	}
+	if lossProb < 0 {
+		lossProb = 0
+	}
+	if lossProb > 1 {
+		lossProb = 1
+	}
+	n.degraded[zonePair(a, b)] = &degradation{LatencyFactor: latencyFactor, LossProb: lossProb}
+}
+
+// RestoreLink removes any degradation between two zones.
+func (n *Network) RestoreLink(a, b ZoneID) { delete(n.degraded, zonePair(a, b)) }
+
+// Degraded reports whether the path between two zones is impaired.
+func (n *Network) Degraded(a, b ZoneID) bool {
+	if len(n.degraded) == 0 {
+		return false
+	}
+	return n.degraded[zonePair(a, b)] != nil
+}
+
+// degradationFor returns the active degradation between two zones, or nil.
+// The len() guard keeps the common no-chaos path free of map lookups.
+func (n *Network) degradationFor(a, b ZoneID) *degradation {
+	if len(n.degraded) == 0 {
+		return nil
+	}
+	return n.degraded[zonePair(a, b)]
+}
+
+// lost draws the loss coin for a message on a degraded path. It must only
+// be called when a degradation with LossProb > 0 is active, so undisturbed
+// runs never consume RNG values they did not consume before.
+func (n *Network) lost(d *degradation) bool {
+	return d != nil && d.LossProb > 0 && n.env.Rand().Float64() < d.LossProb
+}
+
 // Send transmits a message of the given size from one node to another. It
 // never blocks the caller; delivery is scheduled after queueing latency on
 // the zone-pair link plus propagation latency. Messages to dead nodes or
@@ -332,6 +392,11 @@ func (n *Network) Travel(p *sim.Proc, from, to *Node, size int, timeout time.Dur
 func (n *Network) TravelDeferred(p *sim.Proc, from, to *Node, size int, timeout time.Duration) bool {
 	if !from.alive || !to.alive ||
 		(from.zone != to.zone && n.Partitioned(from.zone, to.zone)) {
+		n.dropped++
+		p.Defer(timeout)
+		return false
+	}
+	if n.lost(n.degradationFor(from.zone, to.zone)) {
 		n.dropped++
 		p.Defer(timeout)
 		return false
@@ -381,6 +446,10 @@ func (n *Network) transmit(from, to *Node, size int, handover func()) {
 		return
 	}
 	if from.zone != to.zone && n.Partitioned(from.zone, to.zone) {
+		n.dropped++
+		return
+	}
+	if n.lost(n.degradationFor(from.zone, to.zone)) {
 		n.dropped++
 		return
 	}
@@ -437,6 +506,9 @@ func (n *Network) latency(from, to *Node) time.Duration {
 	if n.topo.JitterFrac > 0 {
 		f := 1 + n.topo.JitterFrac*(n.env.Rand().Float64()-0.5)
 		lat = time.Duration(float64(lat) * f)
+	}
+	if d := n.degradationFor(from.zone, to.zone); d != nil && d.LatencyFactor > 1 {
+		lat = time.Duration(float64(lat) * d.LatencyFactor)
 	}
 	return lat
 }

@@ -328,3 +328,106 @@ func TestTravelDeferredLinkQueueing(t *testing.T) {
 		t.Fatalf("second deferred transfer %v, want ~1s after flush", d2)
 	}
 }
+
+func TestDegradeLinkStretchesLatency(t *testing.T) {
+	env, net := newTestNet(t)
+	a := net.NewNode("a", 1, 1)
+	b := net.NewNode("b", 2, 2)
+	net.DegradeLink(1, 2, 4, 0)
+	if !net.Degraded(1, 2) || !net.Degraded(2, 1) {
+		t.Fatal("degradation not visible (or not symmetric)")
+	}
+	var pending time.Duration
+	env.Spawn("p", func(p *sim.Proc) {
+		if !net.TravelDeferred(p, a, b, 100, time.Second) {
+			t.Error("travel over slow link failed")
+			return
+		}
+		pending = p.Pending()
+	})
+	env.Run()
+	// Base one-way latency is 180us; the 4x factor applies to latency but
+	// not to transmission time.
+	if pending < 4*180*time.Microsecond || pending > 4*180*time.Microsecond+10*time.Microsecond {
+		t.Fatalf("slow-link delay %v, want ~720us", pending)
+	}
+	net.RestoreLink(1, 2)
+	if net.Degraded(1, 2) {
+		t.Fatal("degradation survived RestoreLink")
+	}
+}
+
+func TestDegradeLinkDropsProbabilistically(t *testing.T) {
+	env, net := newTestNet(t)
+	a := net.NewNode("a", 1, 1)
+	b := net.NewNode("b", 2, 2)
+	net.DegradeLink(1, 2, 1, 0.5)
+	lost, delivered := 0, 0
+	env.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			if net.TravelDeferred(p, a, b, 10, time.Millisecond) {
+				delivered++
+			} else {
+				lost++
+			}
+		}
+	})
+	env.Run()
+	if lost == 0 || delivered == 0 {
+		t.Fatalf("50%% loss gave lost=%d delivered=%d", lost, delivered)
+	}
+	if lost < 60 || lost > 140 {
+		t.Fatalf("loss far from 50%%: %d/200", lost)
+	}
+	if int(net.Dropped()) != lost {
+		t.Fatalf("dropped counter %d, want %d", net.Dropped(), lost)
+	}
+	// Other zone pairs are unaffected.
+	c := net.NewNode("c", 3, 3)
+	ok := true
+	env.Spawn("q", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			if !net.TravelDeferred(p, a, c, 10, time.Millisecond) {
+				ok = false
+			}
+		}
+	})
+	env.Run()
+	if !ok {
+		t.Fatal("degradation of pair (1,2) leaked onto pair (1,3)")
+	}
+}
+
+// TestDegradeLinkPreservesCleanRNGStream pins the determinism contract:
+// installing and removing a degradation must not perturb the RNG stream
+// of runs that never degrade — loss draws only happen while a
+// degradation is installed.
+func TestDegradeLinkPreservesCleanRNGStream(t *testing.T) {
+	run := func(withEpisode bool) []time.Duration {
+		env := sim.New(99)
+		defer env.Close()
+		net := New(env, USWest1()) // default jitter: latency consumes RNG
+		a := net.NewNode("a", 1, 1)
+		b := net.NewNode("b", 2, 2)
+		var out []time.Duration
+		env.Spawn("p", func(p *sim.Proc) {
+			for i := 0; i < 20; i++ {
+				if i == 10 && withEpisode {
+					net.DegradeLink(1, 3, 3, 0.5) // other pair entirely
+					net.RestoreLink(1, 3)
+				}
+				net.TravelDeferred(p, a, b, 10, time.Second)
+				out = append(out, p.Pending())
+			}
+		})
+		env.Run()
+		return out
+	}
+	clean, episodic := run(false), run(true)
+	for i := range clean {
+		if clean[i] != episodic[i] {
+			t.Fatalf("step %d: clean %v vs episodic %v — degradation episode perturbed the RNG stream",
+				i, clean[i], episodic[i])
+		}
+	}
+}
