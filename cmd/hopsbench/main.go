@@ -9,10 +9,11 @@
 //	hopsbench all
 //
 // Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 failures chaos ablations phases. "chaos" runs the seeded
-// random fault-campaign sweep (deterministic per seed) with cross-layer
-// invariant auditing; "failures" runs the §V-F scripted drills on the
-// same engine.
+// fig13 fig14 pathdepth failures chaos ablations phases. "chaos" runs the
+// seeded random fault-campaign sweep (deterministic per seed) with
+// cross-layer invariant auditing; "failures" runs the §V-F scripted drills
+// on the same engine; "pathdepth" measures stat latency vs path depth with
+// optimistic batched resolution against the serial per-component walk.
 //
 // Flags:
 //

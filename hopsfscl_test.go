@@ -166,8 +166,8 @@ func TestSetupsAndExperimentsListed(t *testing.T) {
 		t.Fatalf("setups = %d, want 9", got)
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 16 {
-		t.Fatalf("experiments = %d, want 16", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("experiments = %d, want 17", len(ids))
 	}
 	want := map[string]bool{"table1": true, "table2": true, "fig5": true, "fig14": true, "failures": true, "chaos": true, "phases": true}
 	for _, id := range ids {

@@ -80,6 +80,7 @@ var Experiments = []Experiment{
 	{ID: "fig12", Title: "Figure 12: storage layer network and disk utilization", Run: Fig12},
 	{ID: "fig13", Title: "Figure 13: per-metadata-server network and disk utilization", Run: Fig13},
 	{ID: "fig14", Title: "Figure 14: AZ-local reads with/without Read Backup", Run: Fig14},
+	{ID: "pathdepth", Title: "Path depth: stat latency, batched vs serial resolution", Run: PathDepth},
 	{ID: "failures", Title: "Section V-F: failure drills (AZ loss, split brain, NN loss)", Run: Failures},
 	{ID: "chaos", Title: "Chaos: seeded random fault campaigns with invariant auditing", Run: Chaos},
 	{ID: "ablations", Title: "Design-choice ablations: Read Backup, batching, block backend", Run: Ablations},
@@ -617,7 +618,8 @@ func Chaos(o ExpOptions) (string, error) {
 //
 //	(a) the Read Backup table option (AZ-local reads) on vs off,
 //	(b) NDB executor batching on vs off at saturation,
-//	(c) datanode-replicated blocks vs the §VII cloud object store backend.
+//	(c) datanode-replicated blocks vs the §VII cloud object store backend,
+//	(d) optimistic batched path resolution on vs off at depth 8.
 func Ablations(o ExpOptions) (string, error) {
 	var b strings.Builder
 	setup := core.PaperSetups[5] // HopsFS-CL (3,3)
@@ -722,6 +724,22 @@ func Ablations(o ExpOptions) (string, error) {
 		tblC.AddRow(name, fmtMS(wrote), fmtMS(read), fmt.Sprintf("%.0f", crossAZ))
 	}
 	b.WriteString(tblC.String())
+
+	// (d) Batched path resolution.
+	b.WriteString("\n(d) Optimistic batched path resolution — depth-8 stat, warm hint cache\n")
+	tblD := metrics.NewTable("variant", "mean", "p99")
+	for _, disable := range []bool{false, true} {
+		mean, p99, err := pathStatLatency(o, 8, disable)
+		if err != nil {
+			return "", err
+		}
+		name := "batched resolution ON"
+		if disable {
+			name = "batched resolution OFF (serial walk)"
+		}
+		tblD.AddRow(name, fmtMS(mean), fmtMS(p99))
+	}
+	b.WriteString(tblD.String())
 	return b.String(), nil
 }
 

@@ -106,6 +106,10 @@ type Options struct {
 	// NDBCosts overrides the storage engine's calibrated service demands
 	// (nil keeps ndb.DefaultCosts) — used by the batching ablation.
 	NDBCosts *ndb.Costs
+	// DisableBatchedResolve forces the serial per-component path walk,
+	// ignoring the hint cache's batching opportunity — the ablation
+	// isolating batched path resolution.
+	DisableBatchedResolve bool
 }
 
 // DefaultOptions returns the evaluation defaults for a setup.
@@ -266,6 +270,7 @@ func (d *Deployment) buildHops() error {
 	// HopsFS-CL enables Read Backup on all tables (§IV-A5), unless the
 	// Figure 14 ablation explicitly disables it.
 	nnCfg.ReadBackup = aware && !opts.DisableReadBackup
+	nnCfg.DisableBatchedResolve = opts.DisableBatchedResolve
 	ns := namenode.NewNamesystem(db, d.Blocks, nnCfg)
 	ns.SetTracer(d.Tracer)
 	d.NS = ns

@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -87,7 +88,11 @@ func (h *Histogram) Percentile(q float64) time.Duration {
 		h.sortedValid = true
 	}
 	s := h.sorted
-	idx := int(q*float64(len(s))) - 1
+	// Ceiling nearest-rank: the smallest sample with at least a q fraction
+	// of the sample at or below it. Truncating here biases small-sample
+	// tails low (p99 of 10 samples would return the 9th value, not the
+	// 10th).
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
 	if idx < 0 {
 		idx = 0
 	}

@@ -57,6 +57,42 @@ func TestHistogramReset(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentileNearestRank pins the ceiling nearest-rank
+// definition: Percentile(q) is the smallest sample with at least a q
+// fraction of the sample at or below it. Truncating the rank instead
+// biases small-sample tails low — p99 of 10 samples must be the 10th
+// value, not the 9th.
+func TestHistogramPercentileNearestRank(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name    string
+		samples []time.Duration
+		q       float64
+		want    time.Duration
+	}{
+		{"1-sample p50", []time.Duration{ms(7)}, 0.5, ms(7)},
+		{"1-sample p99", []time.Duration{ms(7)}, 0.99, ms(7)},
+		{"1-sample p100", []time.Duration{ms(7)}, 1.0, ms(7)},
+		{"2-sample p50", []time.Duration{ms(1), ms(2)}, 0.5, ms(1)},
+		{"2-sample p51", []time.Duration{ms(1), ms(2)}, 0.51, ms(2)},
+		{"2-sample p99", []time.Duration{ms(1), ms(2)}, 0.99, ms(2)},
+		{"10-sample p10", []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5), ms(6), ms(7), ms(8), ms(9), ms(10)}, 0.10, ms(1)},
+		{"10-sample p50", []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5), ms(6), ms(7), ms(8), ms(9), ms(10)}, 0.50, ms(5)},
+		{"10-sample p90", []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5), ms(6), ms(7), ms(8), ms(9), ms(10)}, 0.90, ms(9)},
+		{"10-sample p99", []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5), ms(6), ms(7), ms(8), ms(9), ms(10)}, 0.99, ms(10)},
+		{"10-sample p100", []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5), ms(6), ms(7), ms(8), ms(9), ms(10)}, 1.0, ms(10)},
+	}
+	for _, tc := range cases {
+		h := NewHistogram(64, 1)
+		for _, d := range tc.samples {
+			h.Observe(d)
+		}
+		if got := h.Percentile(tc.q); got != tc.want {
+			t.Errorf("%s: Percentile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
 func TestHistogramResetReseedsRNG(t *testing.T) {
 	// A reset histogram must replay the exact reservoir decisions of a
 	// fresh one with the same seed; otherwise reset-and-reuse runs diverge.
@@ -95,8 +131,10 @@ func TestHistogramPercentileCacheInvalidation(t *testing.T) {
 	if got := h.Percentile(1.0); got != time.Second {
 		t.Fatalf("p100 after new max = %v, want 1s", got)
 	}
-	if got := h.Percentile(0.5); got != 5*time.Millisecond {
-		t.Fatalf("p50 = %v, want 5ms", got)
+	// 11 samples now: the median is the 6th smallest (ceiling nearest
+	// rank), not the 5th.
+	if got := h.Percentile(0.5); got != 6*time.Millisecond {
+		t.Fatalf("p50 = %v, want 6ms", got)
 	}
 	h.Reset()
 	if got := h.Percentile(0.5); got != 0 {

@@ -2,6 +2,7 @@ package namenode
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,7 +39,7 @@ func (nn *NameNode) hintFor(comps []string) string {
 		return partKeyOf(RootID, comps[0])
 	}
 	dir := "/" + strings.Join(comps[:len(comps)-1], "/")
-	if id, ok := nn.cache[dir]; ok {
+	if id, ok := nn.cache.get(dir); ok {
 		return partKey(id)
 	}
 	// Unresolved parent: hint with the top-level component's partition.
@@ -77,28 +78,132 @@ func (nn *NameNode) lockInode(tx *ndb.Txn, parent uint64, name string, mode ndb.
 	return ino, nil
 }
 
-// resolveChain walks the path from the root with read-committed reads
-// (hierarchical implicit locking: ancestors are not locked) and returns the
-// inode chain [root, ..., target]. It also refreshes the hint cache.
 // rootInode is the immutable "/" inode, cached at every metadata server —
 // HopsFS never reads it from the database on the hot path ([23]: the root
 // inode is immutable and cached at all namenodes).
 var rootInode = &Inode{ID: RootID, Parent: 0, Name: "", Dir: true, Perm: 0o755, Owner: "hdfs"}
 
+// resolveChain resolves the path to the inode chain [root, ..., target]
+// with read-committed reads (hierarchical implicit locking: ancestors are
+// not locked). When the hint cache covers a prefix of the path, the whole
+// covered chain is read in one batched fan-out and verified
+// (tryBatchResolve); otherwise — and whenever verification detects stale
+// hints — it falls back to the serial per-component walk. Either way the
+// hint cache is refreshed with what was actually read.
 func (nn *NameNode) resolveChain(tx *ndb.Txn, comps []string) ([]*Inode, error) {
-	root := rootInode
-	chain := make([]*Inode, 0, len(comps)+1)
-	chain = append(chain, root)
-	cur := root
-	for i, c := range comps {
-		if !cur.Dir {
-			return nil, ErrNotDir
-		}
-		child, err := nn.readInode(tx, cur.ID, c)
+	if !nn.ns.cfg.DisableBatchedResolve && len(comps) > 1 {
+		chain, ok, err := nn.tryBatchResolve(tx, comps)
 		if err != nil {
 			return nil, err
 		}
-		nn.cache["/"+strings.Join(comps[:i+1], "/")] = child.ID
+		if ok {
+			return chain, nil
+		}
+	}
+	chain := make([]*Inode, 1, len(comps)+1)
+	chain[0] = rootInode
+	return nn.walkFrom(tx, chain, comps)
+}
+
+// tryBatchResolve attempts optimistic batched resolution: it collects the
+// longest contiguously cached prefix of the path, reads every covered inode
+// row in a single ReadBatch, and verifies the parent/name links against
+// what the cache promised. ok=false means the cache could not prime a batch
+// or verification failed (stale hints) — the caller must re-walk serially;
+// a stale cache only ever costs that retry, never a wrong answer. When all
+// links verify, errors are authoritative: a missing row below a verified
+// parent is exactly the ErrNotFound the serial walk would have returned,
+// and a non-directory interior component is ErrNotDir. Any remaining
+// uncovered suffix is resolved serially from the verified chain.
+func (nn *NameNode) tryBatchResolve(tx *ndb.Txn, comps []string) ([]*Inode, bool, error) {
+	obs := nn.ns.obs
+	// ids[i] is the cached inode id of the prefix comps[:i]; ids[0] is "/".
+	ids := make([]uint64, 1, len(comps)+1)
+	ids[0] = RootID
+	for i := 1; i <= len(comps); i++ {
+		id, ok := nn.cache.get("/" + strings.Join(comps[:i], "/"))
+		if !ok {
+			break
+		}
+		ids = append(ids, id)
+	}
+	// Row i is keyed by (ids[i], comps[i]), so the cache primes one row
+	// beyond the covered prefix. A batch of one row is just a serial read.
+	rows := len(ids)
+	if rows > len(comps) {
+		rows = len(comps)
+	}
+	if rows < 2 {
+		obs.miss()
+		return nil, false, nil
+	}
+	gets := make([]ndb.BatchGet, rows)
+	for i := range gets {
+		gets[i] = ndb.BatchGet{
+			Table:   nn.ns.inodes,
+			PartKey: partKeyOf(ids[i], comps[i]),
+			Key:     inodeKey(ids[i], comps[i]),
+		}
+	}
+	vals, err := tx.ReadBatch(gets)
+	if err != nil {
+		return nil, false, err
+	}
+	chain := make([]*Inode, 1, len(comps)+1)
+	chain[0] = rootInode
+	for i := 0; i < rows; i++ {
+		if !vals[i].OK {
+			// Every link above row i verified, so the parent id used to
+			// key this row was the committed one: the row's absence is the
+			// same ErrNotFound the serial walk would see.
+			obs.hit()
+			tx.Annotate("op.batched", strconv.Itoa(rows))
+			return nil, true, ErrNotFound
+		}
+		ino, ok := vals[i].Val.(*Inode)
+		if !ok || ino.Parent != ids[i] || ino.Name != comps[i] {
+			// Defensive: the stored row disagrees with its own key.
+			obs.fallback()
+			return nil, false, nil
+		}
+		if i+1 < len(ids) && ino.ID != ids[i+1] {
+			// The path component exists but is not the inode the cache
+			// promised (renamed away and recreated): every row below was
+			// keyed off a stale id, so the batch is worthless.
+			obs.fallback()
+			return nil, false, nil
+		}
+		if i < len(comps)-1 && !ino.Dir {
+			obs.hit()
+			tx.Annotate("op.batched", strconv.Itoa(rows))
+			return nil, true, ErrNotDir
+		}
+		nn.cache.put("/"+strings.Join(comps[:i+1], "/"), ino.ID)
+		chain = append(chain, ino)
+	}
+	obs.hit()
+	tx.Annotate("op.batched", strconv.Itoa(rows))
+	chain, err = nn.walkFrom(tx, chain, comps)
+	if err != nil {
+		return nil, true, err
+	}
+	return chain, true, nil
+}
+
+// walkFrom continues serial resolution: chain already resolves
+// comps[:len(chain)-1], and each further component is one read-committed
+// round trip. It refreshes the hint cache as it goes.
+func (nn *NameNode) walkFrom(tx *ndb.Txn, chain []*Inode, comps []string) ([]*Inode, error) {
+	cur := chain[len(chain)-1]
+	for i := len(chain) - 1; i < len(comps); i++ {
+		if !cur.Dir {
+			return nil, ErrNotDir
+		}
+		child, err := nn.readInode(tx, cur.ID, comps[i])
+		if err != nil {
+			return nil, err
+		}
+		nn.cache.put("/"+strings.Join(comps[:i+1], "/"), child.ID)
 		chain = append(chain, child)
 		cur = child
 	}
@@ -347,40 +452,71 @@ func (nn *NameNode) Delete(p *sim.Proc, path string, recursive bool) ([]blocks.B
 		if err != nil {
 			return err
 		}
-		return nn.deleteSubtree(tx, target, recursive, true, &freed)
+		return nn.deleteSubtree(tx, target, recursive, &freed)
 	})
 	if err != nil {
 		return nil, err
 	}
+	// The whole subtree is gone: drop its hints so later resolutions do not
+	// waste a batched attempt on rows that cannot exist.
+	nn.cache.invalidatePrefix("/" + strings.Join(comps, "/"))
 	return freed, nil
 }
 
 // deleteSubtree removes target and (recursively) its children within the
-// same transaction — HopsFS's atomic subtree delete.
-func (nn *NameNode) deleteSubtree(tx *ndb.Txn, target *Inode, recursive, topLocked bool, freed *[]blocks.BlockID) error {
+// same transaction — HopsFS's atomic subtree delete. The tree is discovered
+// level by level, each level's directory listings fetched in one batched
+// fan-out (ScanBatch), children exclusively locked as found; the rows are
+// deleted once the frontier is exhausted.
+func (nn *NameNode) deleteSubtree(tx *ndb.Txn, target *Inode, recursive bool, freed *[]blocks.BlockID) error {
+	doomed := []*Inode{target}
+	var level []*Inode
 	if target.Dir {
-		kvs, err := tx.ScanPrefix(nn.ns.inodes, partKey(target.ID), inodeKey(target.ID, ""))
+		level = append(level, target)
+	}
+	top := true
+	for len(level) > 0 {
+		scans := make([]ndb.BatchScan, len(level))
+		for i, dir := range level {
+			scans[i] = ndb.BatchScan{
+				Table:   nn.ns.inodes,
+				PartKey: partKey(dir.ID),
+				Prefix:  inodeKey(dir.ID, ""),
+			}
+		}
+		results, err := tx.ScanBatch(scans)
 		if err != nil {
 			return err
 		}
-		if len(kvs) > 0 && !recursive {
-			return ErrNotEmpty
+		var next []*Inode
+		for li, dir := range level {
+			if top && len(results[li]) > 0 && !recursive {
+				return ErrNotEmpty
+			}
+			for _, kv := range results[li] {
+				child, ok := kv.Val.(*Inode)
+				if !ok || child.Parent != dir.ID {
+					continue
+				}
+				if _, err := nn.lockInode(tx, dir.ID, child.Name, ndb.LockExclusive); err != nil {
+					return err
+				}
+				doomed = append(doomed, child)
+				if child.Dir {
+					next = append(next, child)
+				}
+			}
 		}
-		for _, kv := range kvs {
-			child, ok := kv.Val.(*Inode)
-			if !ok {
-				continue
-			}
-			if _, err := nn.lockInode(tx, target.ID, child.Name, ndb.LockExclusive); err != nil {
-				return err
-			}
-			if err := nn.deleteSubtree(tx, child, recursive, true, freed); err != nil {
-				return err
-			}
+		top = false
+		level = next
+	}
+	for _, ino := range doomed {
+		*freed = append(*freed, ino.Blocks...)
+		if err := tx.Delete(nn.ns.inodes, partKeyOf(ino.Parent, ino.Name), inodeKey(ino.Parent, ino.Name)); err != nil {
+			return err
 		}
 	}
-	*freed = append(*freed, target.Blocks...)
-	return tx.Delete(nn.ns.inodes, partKeyOf(target.Parent, target.Name), inodeKey(target.Parent, target.Name))
+	return nil
 }
 
 // Rename atomically moves src to dst — the operation object stores cannot
@@ -402,7 +538,7 @@ func (nn *NameNode) Rename(p *sim.Proc, src, dst string) error {
 	nn.Ops++
 	nn.annotate(p, src)
 	p.Span().SetAttr("dst", dst)
-	return nn.runTxn(p, nn.hintFor(srcComps), func(tx *ndb.Txn) error {
+	err = nn.runTxn(p, nn.hintFor(srcComps), func(tx *ndb.Txn) error {
 		srcParent, srcName, err := nn.resolveParent(tx, srcComps)
 		if err != nil {
 			return err
@@ -463,6 +599,13 @@ func (nn *NameNode) Rename(p *sim.Proc, src, dst string) error {
 		}
 		return tx.Insert(nn.ns.inodes, partKeyOf(dstParent.ID, dstName), inodeKey(dstParent.ID, dstName), &moved)
 	})
+	if err == nil {
+		// Everything under the old path now resolves differently, and a
+		// previous life of the destination path may still be cached.
+		nn.cache.invalidatePrefix("/" + strings.Join(srcComps, "/"))
+		nn.cache.invalidatePrefix("/" + strings.Join(dstComps, "/"))
+	}
+	return err
 }
 
 // SetPermission updates an inode's mode bits under an exclusive lock.
@@ -538,31 +681,70 @@ func (nn *NameNode) ContentSummary(p *sim.Proc, path string) (files, dirs int, s
 	return files, dirs, size, nil
 }
 
-func (nn *NameNode) summarize(tx *ndb.Txn, ino *Inode, files, dirs *int, size *int64) error {
-	if !ino.Dir {
+// summarize accumulates the subtree's file/dir counts and byte total,
+// walking the tree level by level with each level's directory listings in
+// one batched fan-out. The root directory's children are deliberately
+// scattered across partitions (see partKeyOf), so "/" itself still costs a
+// table scan.
+func (nn *NameNode) summarize(tx *ndb.Txn, root *Inode, files, dirs *int, size *int64) error {
+	if !root.Dir {
 		*files++
-		*size += ino.Size
+		*size += root.Size
 		return nil
 	}
-	*dirs++
-	var kvs []ndb.KV
-	var err error
-	if ino.ID == RootID {
-		kvs, err = tx.ScanTablePrefix(nn.ns.inodes, inodeKey(ino.ID, ""))
-	} else {
-		kvs, err = tx.ScanPrefix(nn.ns.inodes, partKey(ino.ID), inodeKey(ino.ID, ""))
+	type scanned struct {
+		dir *Inode
+		kvs []ndb.KV
 	}
-	if err != nil {
-		return err
-	}
-	for _, kv := range kvs {
-		child, ok := kv.Val.(*Inode)
-		if !ok {
-			continue
+	level := []*Inode{root}
+	for len(level) > 0 {
+		var sets []scanned
+		var batchDirs []*Inode
+		for _, dir := range level {
+			*dirs++
+			if dir.ID == RootID {
+				kvs, err := tx.ScanTablePrefix(nn.ns.inodes, inodeKey(dir.ID, ""))
+				if err != nil {
+					return err
+				}
+				sets = append(sets, scanned{dir, kvs})
+			} else {
+				batchDirs = append(batchDirs, dir)
+			}
 		}
-		if err := nn.summarize(tx, child, files, dirs, size); err != nil {
-			return err
+		if len(batchDirs) > 0 {
+			scans := make([]ndb.BatchScan, len(batchDirs))
+			for i, dir := range batchDirs {
+				scans[i] = ndb.BatchScan{
+					Table:   nn.ns.inodes,
+					PartKey: partKey(dir.ID),
+					Prefix:  inodeKey(dir.ID, ""),
+				}
+			}
+			results, err := tx.ScanBatch(scans)
+			if err != nil {
+				return err
+			}
+			for i, dir := range batchDirs {
+				sets = append(sets, scanned{dir, results[i]})
+			}
 		}
+		var next []*Inode
+		for _, s := range sets {
+			for _, kv := range s.kvs {
+				child, ok := kv.Val.(*Inode)
+				if !ok || child.Parent != s.dir.ID {
+					continue
+				}
+				if child.Dir {
+					next = append(next, child)
+				} else {
+					*files++
+					*size += child.Size
+				}
+			}
+		}
+		level = next
 	}
 	return nil
 }

@@ -295,8 +295,8 @@ func TestPropHintCacheNeverAffectsCorrectness(t *testing.T) {
 			}
 			// Poison every NN's hint cache.
 			for _, nn := range h.ns.NameNodes() {
-				nn.cache["/x"] = poison
-				nn.cache["/x/y"] = poison % 97
+				nn.cache.put("/x", poison)
+				nn.cache.put("/x/y", poison%97)
 			}
 			ino, err := cl.Stat(p, "/x/y/f")
 			if err != nil || ino.Name != "f" {

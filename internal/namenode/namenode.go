@@ -65,6 +65,13 @@ type Config struct {
 	// RetryBackoff is the base backoff between retries (exponential with
 	// jitter) — the paper's backpressure mechanism.
 	RetryBackoff time.Duration
+	// HintCacheSize bounds each NN's inode hint cache (path → inode id,
+	// LRU). Zero or negative disables the cache.
+	HintCacheSize int
+	// DisableBatchedResolve forces the serial per-component path walk even
+	// when the hint cache could prime a batched read — the ablation knob
+	// for the resolution protocol.
+	DisableBatchedResolve bool
 	// Costs are the NN CPU service demands.
 	Costs Costs
 }
@@ -88,6 +95,7 @@ func DefaultConfig() Config {
 		ElectionRound:      2 * time.Second,
 		RetryMax:           8,
 		RetryBackoff:       2 * time.Millisecond,
+		HintCacheSize:      64 << 10,
 		Costs: Costs{
 			OpBase:       25 * time.Microsecond,
 			PerComponent: 4 * time.Microsecond,
@@ -127,14 +135,76 @@ type Namesystem struct {
 	idSeq  uint64
 	bgStop bool
 
-	// tracer is the deployment's trace layer; nil when uninstrumented.
+	// tracer and obs attach the namesystem to a deployment's trace layer;
+	// both are nil for uninstrumented deployments.
 	tracer *trace.Tracer
+	obs    *nnObs
+}
+
+// nnObs caches the namesystem's pre-registered metric handles.
+type nnObs struct {
+	// resolveHit counts operations whose path was fully primed from the
+	// hint cache and verified; resolveMiss counts paths the cache could not
+	// prime (serial walk from the start); resolveFallback counts batched
+	// attempts that failed verification (stale hints) and re-walked.
+	resolveHit      *trace.Counter
+	resolveMiss     *trace.Counter
+	resolveFallback *trace.Counter
+	reg             *trace.Registry
+}
+
+// hit/miss/fallback record one resolve-cache outcome; nil-receiver-safe so
+// uninstrumented deployments pay only the nil check.
+func (o *nnObs) hit() {
+	if o != nil {
+		o.resolveHit.Add(1)
+	}
+}
+
+func (o *nnObs) miss() {
+	if o != nil {
+		o.resolveMiss.Add(1)
+	}
+}
+
+func (o *nnObs) fallback() {
+	if o != nil {
+		o.resolveFallback.Add(1)
+	}
 }
 
 // SetTracer attaches the namesystem to a deployment's tracer: every client
-// operation gets a root span, every transaction attempt a child span. A nil
-// tracer detaches.
-func (ns *Namesystem) SetTracer(tr *trace.Tracer) { ns.tracer = tr }
+// operation gets a root span, every transaction attempt a child span, and
+// the resolve-cache counter family is registered. A nil tracer detaches.
+func (ns *Namesystem) SetTracer(tr *trace.Tracer) {
+	ns.tracer = tr
+	reg := tr.Registry()
+	if reg == nil {
+		ns.obs = nil
+		for _, nn := range ns.nns {
+			nn.cache.size = nil
+		}
+		return
+	}
+	ns.obs = &nnObs{
+		resolveHit:      reg.Counter("namenode.resolve_cache", "result", "hit"),
+		resolveMiss:     reg.Counter("namenode.resolve_cache", "result", "miss"),
+		resolveFallback: reg.Counter("namenode.resolve_cache", "result", "fallback"),
+		reg:             reg,
+	}
+	for _, nn := range ns.nns {
+		nn.cache.setGauge(ns.cacheSizeGauge(nn))
+	}
+}
+
+// cacheSizeGauge returns the per-NN resolve-cache size gauge (nil when
+// uninstrumented).
+func (ns *Namesystem) cacheSizeGauge(nn *NameNode) *trace.Gauge {
+	if ns.obs == nil {
+		return nil
+	}
+	return ns.obs.reg.Gauge("namenode.resolve_cache.size", "nn", nn.Node.Name())
+}
 
 // Tracer returns the attached tracer (nil when uninstrumented).
 func (ns *Namesystem) Tracer() *trace.Tracer { return ns.tracer }
@@ -269,9 +339,10 @@ type NameNode struct {
 
 	cpu *sim.Resource
 
-	// cache is the inode hint cache: path -> inode id, used to compute the
-	// partition-key hint that makes transactions distribution aware.
-	cache map[string]uint64
+	// cache is the inode hint cache: path -> inode id (bounded LRU), used
+	// to compute the partition-key hint that makes transactions
+	// distribution aware and to prime batched optimistic path resolution.
+	cache *hintCache
 
 	// Election state observed by this NN at its last round.
 	leaderID  int
@@ -301,9 +372,10 @@ func (ns *Namesystem) AddNameNode(zone simnet.ZoneID, host simnet.HostID, domain
 		ID:       id,
 		Domain:   domain,
 		cpu:      sim.NewResource(ns.db.Env(), fmt.Sprintf("nn-%d/cpu", id), ns.cfg.NNCores),
-		cache:    make(map[string]uint64),
+		cache:    newHintCache(ns.cfg.HintCacheSize),
 		leaderID: 1,
 	}
+	nn.cache.setGauge(ns.cacheSizeGauge(nn))
 	ns.nns = append(ns.nns, nn)
 	ns.db.Env().Spawn(nn.Node.Name()+"/election", func(p *sim.Proc) { nn.electionLoop(p) })
 	return nn
@@ -326,7 +398,8 @@ func (nn *NameNode) Recover() {
 	}
 	nn.stopped = false
 	nn.Node.Recover()
-	nn.cache = make(map[string]uint64)
+	nn.cache = newHintCache(nn.ns.cfg.HintCacheSize)
+	nn.cache.setGauge(nn.ns.cacheSizeGauge(nn))
 	nn.ns.db.Env().Spawn(nn.Node.Name()+"/election", func(p *sim.Proc) { nn.electionLoop(p) })
 }
 

@@ -24,7 +24,14 @@ type harness struct {
 
 func newHarness(t *testing.T) *harness {
 	t.Helper()
-	env := sim.New(21)
+	return newHarnessCfg(t, 21, nil)
+}
+
+// newHarnessCfg builds the harness with a specific simulation seed and an
+// optional namesystem-config hook.
+func newHarnessCfg(t *testing.T, seed int64, tweak func(*Config)) *harness {
+	t.Helper()
+	env := sim.New(seed)
 	t.Cleanup(env.Close)
 	net := simnet.New(env, simnet.USWest1())
 	dbCfg := ndb.DefaultConfig()
@@ -46,6 +53,9 @@ func newHarness(t *testing.T) *harness {
 	mgr := blocks.NewManager(env, net, bCfg, pls)
 	cfg := DefaultConfig()
 	cfg.ElectionRound = 200 * time.Millisecond
+	if tweak != nil {
+		tweak(&cfg)
+	}
 	ns := NewNamesystem(db, mgr, cfg)
 	for z := simnet.ZoneID(1); z <= 3; z++ {
 		ns.AddNameNode(z, simnet.HostID(400+int(z)), z)

@@ -1,0 +1,449 @@
+package namenode
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"hopsfscl/internal/ndb"
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/trace"
+)
+
+// --- hint cache unit tests ---
+
+func TestHintCacheLRU(t *testing.T) {
+	hc := newHintCache(3)
+	hc.put("/a", 1)
+	hc.put("/b", 2)
+	hc.put("/c", 3)
+	// Touch /a so /b is the least recently used, then overflow.
+	if id, ok := hc.get("/a"); !ok || id != 1 {
+		t.Fatalf("get /a = (%d,%v)", id, ok)
+	}
+	hc.put("/d", 4)
+	if hc.len() != 3 {
+		t.Fatalf("len = %d, want 3 (bounded)", hc.len())
+	}
+	if _, ok := hc.get("/b"); ok {
+		t.Error("/b should have been evicted as LRU")
+	}
+	for path, want := range map[string]uint64{"/a": 1, "/c": 3, "/d": 4} {
+		if id, ok := hc.get(path); !ok || id != want {
+			t.Errorf("get %s = (%d,%v), want (%d,true)", path, id, ok, want)
+		}
+	}
+	// Updating an existing key must not grow the cache.
+	hc.put("/a", 11)
+	if id, _ := hc.get("/a"); id != 11 || hc.len() != 3 {
+		t.Errorf("after update: /a=%d len=%d", id, hc.len())
+	}
+}
+
+func TestHintCacheInvalidatePrefix(t *testing.T) {
+	hc := newHintCache(16)
+	for path, id := range map[string]uint64{
+		"/a": 1, "/a/b": 2, "/a/b/c": 3, "/ab": 4, "/z": 5,
+	} {
+		hc.put(path, id)
+	}
+	hc.invalidatePrefix("/a")
+	for _, gone := range []string{"/a", "/a/b", "/a/b/c"} {
+		if _, ok := hc.get(gone); ok {
+			t.Errorf("%s should be invalidated", gone)
+		}
+	}
+	// "/ab" shares the string prefix but is a different path: it stays.
+	for path, want := range map[string]uint64{"/ab": 4, "/z": 5} {
+		if id, ok := hc.get(path); !ok || id != want {
+			t.Errorf("%s = (%d,%v), want (%d,true)", path, id, ok, want)
+		}
+	}
+}
+
+func TestHintCacheDisabled(t *testing.T) {
+	hc := newHintCache(0)
+	hc.put("/a", 1)
+	if _, ok := hc.get("/a"); ok || hc.len() != 0 {
+		t.Error("zero-capacity cache must drop every put")
+	}
+}
+
+func TestHintCacheSizeGauge(t *testing.T) {
+	reg := trace.NewRegistry()
+	hc := newHintCache(8)
+	hc.setGauge(reg.Gauge("namenode.resolve_cache.size", "nn", "nn-test"))
+	hc.put("/a", 1)
+	hc.put("/a/b", 2)
+	g := reg.Gauge("namenode.resolve_cache.size", "nn", "nn-test")
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %v, want 2", g.Value())
+	}
+	hc.invalidatePrefix("/a")
+	if g.Value() != 0 {
+		t.Fatalf("gauge after invalidate = %v, want 0", g.Value())
+	}
+}
+
+// TestHintCacheBoundedInHarness drives a small configured bound through
+// real operations: the per-NN cache never exceeds Config.HintCacheSize no
+// matter how many directories are resolved.
+func TestHintCacheBoundedInHarness(t *testing.T) {
+	h := newHarnessCfg(t, 21, func(cfg *Config) { cfg.HintCacheSize = 4 })
+	cl := h.client(1)
+	h.run(t, func(p *sim.Proc) {
+		for i := 0; i < 12; i++ {
+			dir := fmt.Sprintf("/d%d/s", i)
+			if err := cl.MkdirAll(p, dir); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := cl.Stat(p, dir); err != nil {
+				t.Error(err)
+				return
+			}
+			if got := cl.CurrentNameNode().cache.len(); got > 4 {
+				t.Errorf("cache grew to %d entries, bound is 4", got)
+				return
+			}
+		}
+	})
+}
+
+// --- invalidation regression tests ---
+
+// TestRenameInvalidatesHintCache is the regression test for the stale-hint
+// bug: renaming a directory must drop every hint under the old path on the
+// serving NN, the new path must resolve correctly on the first try (no
+// stale-cache fallback), and the old path must be gone.
+func TestRenameInvalidatesHintCache(t *testing.T) {
+	h := newHarness(t)
+	reg := trace.NewRegistry()
+	h.ns.SetTracer(trace.NewTracer(reg))
+	cl := h.client(1)
+	h.run(t, func(p *sim.Proc) {
+		if err := cl.MkdirAll(p, "/proj/sub"); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := cl.Create(p, "/proj/sub/f", 0); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := cl.Stat(p, "/proj/sub/f"); err != nil {
+			t.Error(err)
+			return
+		}
+		nn := cl.CurrentNameNode()
+		if _, ok := nn.cache.get("/proj/sub"); !ok {
+			t.Error("hint for /proj/sub should be warm before the rename")
+			return
+		}
+		if err := cl.Rename(p, "/proj/sub", "/moved"); err != nil {
+			t.Error(err)
+			return
+		}
+		for _, stale := range []string{"/proj/sub", "/proj/sub/f"} {
+			if _, ok := nn.cache.get(stale); ok {
+				t.Errorf("hint for %s survived the rename", stale)
+			}
+		}
+		fallbacks := reg.Counter("namenode.resolve_cache", "result", "fallback").Value()
+		ino, err := cl.Stat(p, "/moved/f")
+		if err != nil || ino.Name != "f" {
+			t.Errorf("stat new path: %+v, %v", ino, err)
+		}
+		if got := reg.Counter("namenode.resolve_cache", "result", "fallback").Value(); got != fallbacks {
+			t.Errorf("resolving the new path needed %d stale-cache fallbacks, want 0", got-fallbacks)
+		}
+		if _, err := cl.Stat(p, "/proj/sub/f"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("old path still resolves: %v", err)
+		}
+	})
+}
+
+// TestDeleteInvalidatesHintCache: recursively deleting a directory drops
+// the subtree's hints, and recreating the same paths resolves the new
+// inodes.
+func TestDeleteInvalidatesHintCache(t *testing.T) {
+	h := newHarness(t)
+	cl := h.client(1)
+	h.run(t, func(p *sim.Proc) {
+		if err := cl.MkdirAll(p, "/tmp/job/out"); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := cl.Stat(p, "/tmp/job/out"); err != nil {
+			t.Error(err)
+			return
+		}
+		nn := cl.CurrentNameNode()
+		oldID, ok := nn.cache.get("/tmp/job")
+		if !ok {
+			t.Error("hint for /tmp/job should be warm")
+			return
+		}
+		if err := cl.Delete(p, "/tmp/job", true); err != nil {
+			t.Error(err)
+			return
+		}
+		for _, stale := range []string{"/tmp/job", "/tmp/job/out"} {
+			if _, ok := nn.cache.get(stale); ok {
+				t.Errorf("hint for %s survived the delete", stale)
+			}
+		}
+		if err := cl.MkdirAll(p, "/tmp/job/out"); err != nil {
+			t.Error(err)
+			return
+		}
+		ino, err := cl.Stat(p, "/tmp/job/out")
+		if err != nil || !ino.Dir {
+			t.Errorf("stat recreated dir: %+v, %v", ino, err)
+			return
+		}
+		if newID, ok := nn.cache.get("/tmp/job"); ok && newID == oldID {
+			t.Error("recreated directory kept the deleted inode's hint id")
+		}
+	})
+}
+
+// --- batched vs serial equivalence property tests ---
+
+// isNamespaceErr reports whether err is a final namespace answer (as
+// opposed to a retriable transport/lock error the txn layer handles).
+func isNamespaceErr(err error) bool {
+	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrNotDir)
+}
+
+// resolveBothWays resolves comps twice inside one transaction on nn —
+// batched-first (the production resolveChain, primed by whatever the hint
+// cache holds) then the reference serial walk — and returns both outcomes.
+// Infrastructure errors (node down, lock timeout) propagate to runTxn so
+// its abort/retry machinery stays in charge.
+func resolveBothWays(p *sim.Proc, nn *NameNode, comps []string) (batched, serial []*Inode, berr, serr error) {
+	txErr := nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+		batched, berr = nn.resolveChain(tx, comps)
+		if berr != nil && !isNamespaceErr(berr) {
+			return berr
+		}
+		chain := make([]*Inode, 1, len(comps)+1)
+		chain[0] = rootInode
+		serial, serr = nn.walkFrom(tx, chain, comps)
+		if serr != nil && !isNamespaceErr(serr) {
+			return serr
+		}
+		return nil
+	})
+	if txErr != nil {
+		berr, serr = txErr, txErr
+	}
+	return batched, serial, berr, serr
+}
+
+// chainIDs renders a chain for comparison and error messages.
+func chainIDs(chain []*Inode) string {
+	var b strings.Builder
+	for _, ino := range chain {
+		fmt.Fprintf(&b, "%d/", ino.ID)
+	}
+	return b.String()
+}
+
+// TestPropBatchedSerialEquivalence checks, across seeds, that optimistic
+// batched resolution returns exactly what the serial walk returns — same
+// chains, same errors — over a randomized namespace whose hint caches have
+// been made arbitrarily stale by renames/deletes/recreations issued through
+// a different NN, plus deliberately poisoned entries.
+func TestPropBatchedSerialEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5, 6, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runEquivalenceSeed(t, seed)
+		})
+	}
+}
+
+func runEquivalenceSeed(t *testing.T, seed int64) {
+	h := newHarnessCfg(t, seed, nil)
+	reg := trace.NewRegistry()
+	h.ns.SetTracer(trace.NewTracer(reg))
+	warmer := h.client(1)  // served by nn-1: its cache is the one under test
+	mutator := h.client(2) // served by nn-2: nn-1 never sees these mutations
+	rng := rand.New(rand.NewSource(seed))
+
+	var paths []string
+	h.run(t, func(p *sim.Proc) {
+		// Random namespace, built and warmed through nn-1.
+		depth := 2 + rng.Intn(4)
+		for d := 0; d < 4; d++ {
+			dir := fmt.Sprintf("/top%d", d)
+			for lvl := 0; lvl < depth; lvl++ {
+				dir = fmt.Sprintf("%s/d%d", dir, lvl)
+			}
+			if err := warmer.MkdirAll(p, dir); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := warmer.Create(p, dir+"/leaf", 0); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := warmer.Stat(p, dir+"/leaf"); err != nil {
+				t.Error(err)
+				return
+			}
+			paths = append(paths, dir+"/leaf", dir)
+		}
+		// Stale-making mutations through nn-2: renames, deletes,
+		// recreations under the same names.
+		for i := 0; i < 12; i++ {
+			top := fmt.Sprintf("/top%d", rng.Intn(4))
+			switch rng.Intn(3) {
+			case 0:
+				_ = mutator.Rename(p, top+"/d0", top+"/moved")
+			case 1:
+				_ = mutator.Delete(p, top+"/d0", true)
+			case 2:
+				_ = mutator.MkdirAll(p, top+"/d0/d1")
+			}
+		}
+		// Deliberate poison: existing-path hints pointing at wrong inodes
+		// force the verification fallback.
+		nn1 := warmer.CurrentNameNode()
+		nn1.cache.put("/top0", 999999)
+		nn1.cache.put("/top1/d0", 424242)
+		paths = append(paths, "/top0/d0/leaf", "/top1/d0/d1", "/nope/deep/path")
+
+		fallbacksBefore := reg.Counter("namenode.resolve_cache", "result", "fallback").Value()
+		for _, path := range paths {
+			comps, err := splitPath(path)
+			if err != nil {
+				t.Fatalf("splitPath(%q): %v", path, err)
+			}
+			batched, serial, berr, serr := resolveBothWays(p, nn1, comps)
+			if !errors.Is(berr, serr) && !errors.Is(serr, berr) {
+				t.Errorf("%s: batched err %v, serial err %v", path, berr, serr)
+				continue
+			}
+			if berr == nil && chainIDs(batched) != chainIDs(serial) {
+				t.Errorf("%s: batched chain %s, serial chain %s", path, chainIDs(batched), chainIDs(serial))
+			}
+		}
+		if got := reg.Counter("namenode.resolve_cache", "result", "fallback").Value(); got == fallbacksBefore {
+			t.Error("poisoned hints never exercised the fallback path")
+		}
+	})
+}
+
+// TestPropResolutionSafeUnderConcurrentMutation runs resolutions on nn-1
+// while a mutator renames/deletes/recreates the same subtrees through
+// nn-2. Whatever interleaving happens, a resolution must either fail with
+// a namespace error (ErrNotFound/ErrNotDir) or return a chain whose links
+// are internally consistent — a stale cache may cost a retry, never a
+// wrong answer.
+func TestPropResolutionSafeUnderConcurrentMutation(t *testing.T) {
+	for _, seed := range []int64{11, 12, 13, 14, 15} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runConcurrentSafetySeed(t, seed)
+		})
+	}
+}
+
+func runConcurrentSafetySeed(t *testing.T, seed int64) {
+	h := newHarnessCfg(t, seed, nil)
+	resolver := h.client(1)
+	mutator := h.client(2)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Seed the namespace and warm nn-1's cache.
+	h.run(t, func(p *sim.Proc) {
+		for d := 0; d < 3; d++ {
+			dir := fmt.Sprintf("/w%d/a/b", d)
+			if err := resolver.MkdirAll(p, dir); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := resolver.Create(p, dir+"/f", 0); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := resolver.Stat(p, dir+"/f"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if t.Failed() {
+		return
+	}
+
+	mutDone := false
+	h.env.Spawn("mutator", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			d := fmt.Sprintf("/w%d", rng.Intn(3))
+			switch rng.Intn(4) {
+			case 0:
+				_ = mutator.Rename(p, d+"/a", d+"/a2")
+			case 1:
+				_ = mutator.Rename(p, d+"/a2", d+"/a")
+			case 2:
+				_ = mutator.Delete(p, d+"/a", true)
+			case 3:
+				_ = mutator.MkdirAll(p, d+"/a/b")
+			}
+			p.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+		}
+		mutDone = true
+	})
+
+	nn1 := resolver.CurrentNameNode()
+	resDone := false
+	h.env.Spawn("resolver", func(p *sim.Proc) {
+		targets := []string{"/w0/a/b/f", "/w1/a/b/f", "/w2/a/b/f", "/w0/a/b", "/w1/a"}
+		for i := 0; i < 60; i++ {
+			path := targets[rng.Intn(len(targets))]
+			comps, _ := splitPath(path)
+			var chain []*Inode
+			rerr := nn1.runTxn(p, nn1.hintFor(comps), func(tx *ndb.Txn) error {
+				c, err := nn1.resolveChain(tx, comps)
+				if err != nil {
+					return err
+				}
+				chain = c
+				return nil
+			})
+			switch {
+			case rerr == nil:
+				if len(chain) != len(comps)+1 || chain[0].ID != RootID {
+					t.Errorf("%s: malformed chain %s", path, chainIDs(chain))
+					return
+				}
+				for i := 0; i < len(comps); i++ {
+					if chain[i+1].Parent != chain[i].ID || chain[i+1].Name != comps[i] {
+						t.Errorf("%s: broken link at %d: %+v under %+v", path, i, chain[i+1], chain[i])
+						return
+					}
+				}
+			case isNamespaceErr(rerr):
+				// A concurrent delete/rename made the path vanish — the
+				// serial walk could have seen exactly the same thing.
+			case errors.Is(rerr, ErrRetriesExhausted) || errors.Is(rerr, ndb.ErrLockTimeout):
+				// Lock contention with the mutator: acceptable, not a
+				// correctness violation.
+			default:
+				t.Errorf("%s: unexpected resolution error %v", path, rerr)
+				return
+			}
+			p.Sleep(time.Duration(rng.Intn(2)) * time.Millisecond)
+		}
+		resDone = true
+	})
+	h.env.RunFor(time.Minute)
+	if !mutDone || !resDone {
+		t.Fatalf("processes did not finish: mutator=%v resolver=%v", mutDone, resDone)
+	}
+}

@@ -142,6 +142,10 @@ type clusterObs struct {
 	// tcSelect counts transaction-coordinator selections by the proximity
 	// of the chosen TC to the API client (§IV-A5).
 	tcSelect [ProximityRemote + 1]*trace.Counter
+	// batchReads counts ReadBatch/ScanBatch fan-outs; batchRows counts the
+	// rows they carried, by proximity of the serving replica to the TC.
+	batchReads *trace.Counter
+	batchRows  [ProximityRemote + 1]*trace.Counter
 }
 
 // proximityLabel names a §IV-A4 proximity distance for registry labels.
@@ -167,14 +171,16 @@ func (c *Cluster) SetTracer(tr *trace.Tracer) {
 		return
 	}
 	obs := &clusterObs{
-		lockAcq:  reg.Counter("txn.lock.acquisitions"),
-		lockWait: reg.Timing("txn.lock_wait"),
+		lockAcq:    reg.Counter("txn.lock.acquisitions"),
+		lockWait:   reg.Timing("txn.lock_wait"),
+		batchReads: reg.Counter("ndb.batch.reads"),
 	}
 	for ph := 0; ph < numPhases; ph++ {
 		obs.phase[ph] = reg.Timing("txn.phase." + phaseNames[ph])
 	}
 	for d := ProximitySameHost; d <= ProximityRemote; d++ {
 		obs.tcSelect[d] = reg.Counter("ndb.tc_select", "prox", proximityLabel(d))
+		obs.batchRows[d] = reg.Counter("ndb.batch.rows", "prox", proximityLabel(d))
 	}
 	c.obs = obs
 }

@@ -392,12 +392,25 @@ func TestPropPartitionHealSymmetry(t *testing.T) {
 			}
 		}
 		env.Spawn("rejoin", func(p *sim.Proc) {
-			for _, dn := range c.DataNodes() {
-				if !dn.Alive() {
-					c.Rejoin(p, dn)
-				} else if dn.DeclaredDead() {
-					c.Reinstate(p, dn)
+			// Shutdown orders from the last arbitration round may still be
+			// in flight when the heal lands, so a node examined early in a
+			// pass can go down moments later: keep making passes until one
+			// finds every node already restored.
+			for pass := 0; pass < 8; pass++ {
+				stable := true
+				for _, dn := range c.DataNodes() {
+					if !dn.Alive() {
+						c.Rejoin(p, dn)
+						stable = false
+					} else if dn.DeclaredDead() {
+						c.Reinstate(p, dn)
+						stable = false
+					}
 				}
+				if stable && pass > 0 {
+					return
+				}
+				p.Sleep(250 * time.Millisecond)
 			}
 		})
 		env.RunFor(5 * time.Second)
@@ -507,12 +520,25 @@ func TestPropNoHalfCommitUnderRepartition(t *testing.T) {
 			net.Heal(pr[0], pr[1])
 		}
 		env.Spawn("rejoin", func(p *sim.Proc) {
-			for _, dn := range c.DataNodes() {
-				if !dn.Alive() {
-					c.Rejoin(p, dn)
-				} else if dn.DeclaredDead() {
-					c.Reinstate(p, dn)
+			// Shutdown orders from the last arbitration round may still be
+			// in flight when the heal lands, so a node examined early in a
+			// pass can go down moments later: keep making passes until one
+			// finds every node already restored.
+			for pass := 0; pass < 8; pass++ {
+				stable := true
+				for _, dn := range c.DataNodes() {
+					if !dn.Alive() {
+						c.Rejoin(p, dn)
+						stable = false
+					} else if dn.DeclaredDead() {
+						c.Reinstate(p, dn)
+						stable = false
+					}
 				}
+				if stable && pass > 0 {
+					return
+				}
+				p.Sleep(250 * time.Millisecond)
 			}
 		})
 		env.RunFor(5 * time.Second)

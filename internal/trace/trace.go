@@ -101,6 +101,14 @@ func (s *Span) SetAttr(key, value string) {
 	if s == nil || !s.detailed {
 		return
 	}
+	// Replace, don't append: a key set twice on one span (e.g. op.batched
+	// when a rename batch-resolves both of its paths) keeps the last value.
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key {
+			s.Attrs[i].Value = value
+			return
+		}
+	}
 	s.Attrs = append(s.Attrs, Attr{key, value})
 }
 
