@@ -1,5 +1,6 @@
-// Command hopstrace records and replays metadata operation traces — the
-// methodology behind the paper's use of Spotify's operational trace.
+// Command hopstrace records, replays, and profiles metadata operation
+// traces — the methodology behind the paper's use of Spotify's operational
+// trace, extended with critical-path profiling.
 //
 // Usage:
 //
@@ -13,6 +14,19 @@
 //	    detailed spans and print the 2PC phase breakdown plus the slowest
 //	    operations as flame-style span trees.
 //
+//	hopstrace profile [-setup name] [-seed S] [-ops N] [-clients N] [-format text|folded|chrome] [-out file]
+//	    Generate and replay a trace with concurrent clients and detailed
+//	    spans, then report where the time went: a per-op critical-path
+//	    attribution table (lock wait / 2PC phases / hop classes / compute)
+//	    plus the lock-contention ledger (text), folded flamegraph stacks
+//	    (folded), or Chrome Trace Event JSON for chrome://tracing and
+//	    Perfetto (chrome).
+//
+//	hopstrace timeline [-setup name] [-seed S] [-ops N] [-interval D] [-out file]
+//	    Same replay, sampled by the flight recorder: a CSV time series of
+//	    the selected metrics (per-AZ link traffic, lock waits, op rates)
+//	    over virtual time.
+//
 // The trace format is plain text: "<op> <path> [<dst>]", e.g.
 //
 //	mkdir /proj001/dsNew
@@ -25,12 +39,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"hopsfscl/internal/bench"
 	"hopsfscl/internal/core"
 	"hopsfscl/internal/metrics"
+	"hopsfscl/internal/profile"
 	"hopsfscl/internal/sim"
+	"hopsfscl/internal/trace"
 	"hopsfscl/internal/workload"
 )
 
@@ -43,16 +60,38 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: hopstrace gen|replay [flags]")
+		return fmt.Errorf("usage: hopstrace gen|replay|profile|timeline [flags]")
 	}
 	switch args[0] {
 	case "gen":
 		return runGen(args[1:], stdout)
 	case "replay":
 		return runReplay(args[1:], stdout)
+	case "profile":
+		return runProfile(args[1:], stdout)
+	case "timeline":
+		return runTimeline(args[1:], stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want gen or replay)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want gen, replay, profile or timeline)", args[0])
 	}
+}
+
+// genTrace generates n Spotify-mix operations with the given seed over the
+// evaluation namespace — matching the namespace a deployment built with the
+// same seed is seeded with, so generated paths resolve on replay.
+func genTrace(n int, seed int64) []workload.TraceOp {
+	ns := workload.BuildNamespace(workload.DefaultNamespace(), core.NamespaceSeed(seed))
+	rec := workload.NewRecorder(nopFS{})
+	gen := workload.NewGenerator(ns, workload.SpotifyMix, seed)
+	env := sim.New(seed)
+	defer env.Close()
+	env.Spawn("gen", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			_, _ = gen.Step(p, rec)
+		}
+	})
+	env.Run()
+	return rec.Trace()
 }
 
 func runGen(args []string, stdout io.Writer) error {
@@ -65,19 +104,7 @@ func runGen(args []string, stdout io.Writer) error {
 	}
 	// Drive the Spotify-mix generator against a recorder over a no-op FS:
 	// the recorder captures exactly the operations a benchmark run issues.
-	// Match the namespace a deployment built with the same seed will be
-	// seeded with, so generated paths resolve on replay.
-	ns := workload.BuildNamespace(workload.DefaultNamespace(), core.NamespaceSeed(*seed))
-	rec := workload.NewRecorder(nopFS{})
-	gen := workload.NewGenerator(ns, workload.SpotifyMix, *seed)
-	env := sim.New(*seed)
-	defer env.Close()
-	env.Spawn("gen", func(p *sim.Proc) {
-		for i := 0; i < *ops; i++ {
-			_, _ = gen.Step(p, rec)
-		}
-	})
-	env.Run()
+	trace := genTrace(*ops, *seed)
 
 	w := stdout
 	if *out != "" {
@@ -88,11 +115,11 @@ func runGen(args []string, stdout io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	if err := workload.WriteTrace(w, rec.Trace()); err != nil {
+	if err := workload.WriteTrace(w, trace); err != nil {
 		return err
 	}
 	if *out != "" {
-		fmt.Fprintf(stdout, "wrote %d operations to %s\n", len(rec.Trace()), *out)
+		fmt.Fprintf(stdout, "wrote %d operations to %s\n", len(trace), *out)
 	}
 	return nil
 }
@@ -170,13 +197,204 @@ func runReplay(args []string, stdout io.Writer) error {
 	fmt.Fprintln(stdout, "(replay is sequential; use hopsbench for closed-loop load)")
 
 	if *withTrace {
+		warnTruncated(stdout, sink)
 		samples := d.Registry.Snapshot()
 		fmt.Fprintf(stdout, "\ntransaction phase latency:\n%s", bench.RenderPhaseTable(samples))
 		fmt.Fprintf(stdout, "\ncross-AZ bytes per operation type:\n%s", bench.RenderCrossAZTable(samples))
+		if d.DB != nil {
+			fmt.Fprintf(stdout, "\nlock contention:\n%s", d.DB.Contention().Render(10))
+		}
 		fmt.Fprintf(stdout, "\nslowest %d operations (of %d traced):\n", *slowest, sink.Total())
 		for _, sp := range sink.Slowest(*slowest) {
 			fmt.Fprintln(stdout, sp.Render())
 		}
+	}
+	return nil
+}
+
+// warnTruncated prints a truncation warning when a report or export is
+// built from a span ring that evicted spans.
+func warnTruncated(w io.Writer, sink *trace.Sink) {
+	if d := sink.Dropped(); d > 0 {
+		fmt.Fprintf(w, "warning: span ring dropped %d of %d spans; output is truncated (raise the sink capacity)\n",
+			d, sink.Total())
+	}
+}
+
+// buildReplayDeployment builds a deployment sized for clients concurrent
+// replay clients over servers metadata servers.
+func buildReplayDeployment(setupName string, seed int64, servers, clients int) (*core.Deployment, error) {
+	setup, ok := core.SetupByName(setupName)
+	if !ok {
+		return nil, fmt.Errorf("unknown setup %q", setupName)
+	}
+	opts := core.DefaultOptions(setup)
+	opts.MetadataServers = servers
+	opts.ClientsPerServer = (clients + servers - 1) / servers
+	opts.Seed = seed
+	return core.Build(opts)
+}
+
+// replayConcurrent shards a trace round-robin over clients concurrent
+// replay processes and drives the simulation until every shard completes
+// (or the virtual deadline passes). Concurrency is what makes the profile
+// interesting: operations from different clients collide on shared
+// directories, exercising lock contention the way closed-loop load does.
+func replayConcurrent(d *core.Deployment, traceOps []workload.TraceOp, clients int, deadline time.Duration) (elapsed time.Duration, errs int, err error) {
+	if clients > len(d.Clients) {
+		clients = len(d.Clients)
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	shards := make([][]workload.TraceOp, clients)
+	for i, op := range traceOps {
+		shards[i%clients] = append(shards[i%clients], op)
+	}
+	done := 0
+	for i := 0; i < clients; i++ {
+		i := i
+		fs := d.Clients[i]
+		d.Env.Spawn(fmt.Sprintf("replay-%d", i), func(p *sim.Proc) {
+			errs += workload.Replay(p, fs, shards[i])
+			p.Flush()
+			if t := p.Now(); t > elapsed {
+				elapsed = t
+			}
+			done++
+		})
+	}
+	for done < clients && d.Env.Now() < deadline {
+		step := 100 * time.Millisecond
+		if rem := deadline - d.Env.Now(); rem < step {
+			step = rem
+		}
+		d.Env.RunFor(step)
+	}
+	if done < clients {
+		return 0, 0, fmt.Errorf("replay did not complete within -deadline %v of virtual time", deadline)
+	}
+	return elapsed, errs, nil
+}
+
+func runProfile(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	setupName := fs.String("setup", "HopsFS-CL (3,3)", "deployment setup")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	ops := fs.Int("ops", 2000, "operations to generate and replay")
+	servers := fs.Int("servers", 3, "metadata servers")
+	clients := fs.Int("clients", 8, "concurrent replay clients")
+	deadline := fs.Duration("deadline", 1000*time.Second, "virtual-time budget for the replay")
+	format := fs.String("format", "text", "output format: text, folded, or chrome")
+	out := fs.String("out", "", "output file (default stdout)")
+	sinkCap := fs.Int("sink", 0, "span ring capacity (default ops+64)")
+	top := fs.Int("top", 10, "rows in the contention tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *format {
+	case "text", "folded", "chrome":
+	default:
+		return fmt.Errorf("unknown -format %q (want text, folded or chrome)", *format)
+	}
+	traceOps := genTrace(*ops, *seed)
+	d, err := buildReplayDeployment(*setupName, *seed, *servers, *clients)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	cap := *sinkCap
+	if cap <= 0 {
+		cap = len(traceOps) + 64
+	}
+	sink := d.EnableTracing(cap)
+	elapsed, errs, err := replayConcurrent(d, traceOps, *clients, *deadline)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	spans := sink.Spans()
+	switch *format {
+	case "folded":
+		warnTruncated(os.Stderr, sink)
+		_, err = io.WriteString(w, profile.FoldedStacks(spans))
+		return err
+	case "chrome":
+		warnTruncated(os.Stderr, sink)
+		return profile.WriteChromeTrace(w, spans)
+	}
+	fmt.Fprintf(w, "profiled %d operations on %s (seed %d, %d replay clients, %v virtual, %d errors)\n",
+		len(traceOps), d.Setup.Name, *seed, *clients, elapsed.Round(time.Millisecond), errs)
+	warnTruncated(w, sink)
+	rep := profile.Analyze(spans)
+	fmt.Fprintf(w, "\ncritical-path attribution (share of end-to-end time per op type):\n%s", rep.Table())
+	fmt.Fprintln(w)
+	if d.DB != nil {
+		fmt.Fprint(w, d.DB.Contention().Render(*top))
+	} else {
+		fmt.Fprintln(w, "(no contention ledger: CephFS setups run untraced)")
+	}
+	return nil
+}
+
+func runTimeline(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
+	setupName := fs.String("setup", "HopsFS-CL (3,3)", "deployment setup")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	ops := fs.Int("ops", 2000, "operations to generate and replay")
+	servers := fs.Int("servers", 3, "metadata servers")
+	clients := fs.Int("clients", 8, "concurrent replay clients")
+	deadline := fs.Duration("deadline", 1000*time.Second, "virtual-time budget for the replay")
+	interval := fs.Duration("interval", 20*time.Millisecond, "flight-recorder sampling interval (virtual time)")
+	keep := fs.String("keep", "op.,txn.,net.link.,ndb.contention.", "comma-separated metric name prefixes to record")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	traceOps := genTrace(*ops, *seed)
+	d, err := buildReplayDeployment(*setupName, *seed, *servers, *clients)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	var prefixes []string
+	for _, p := range strings.Split(*keep, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			prefixes = append(prefixes, p)
+		}
+	}
+	fr := d.EnableFlightRecorder(*interval, 0, prefixes...)
+	if _, _, err := replayConcurrent(d, traceOps, *clients, *deadline); err != nil {
+		return err
+	}
+	d.StopBackground()
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := fr.WriteCSV(w); err != nil {
+		return err
+	}
+	if fr.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "warning: flight recorder dropped %d frames; timeline is truncated (raise -interval)\n", fr.Dropped())
+	}
+	if *out != "" {
+		fmt.Fprintf(stdout, "wrote %d frames to %s\n", len(fr.Frames()), *out)
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/csv"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,6 +34,110 @@ func TestGenReplayRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(report, "HopsFS-CL (3,3)") {
 		t.Fatalf("unexpected report:\n%s", report)
+	}
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against the named golden file byte-for-byte,
+// rewriting it under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/hopstrace -run Golden -update` to create)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// profileArgs is a small fixed-seed profiling run shared by the golden
+// tests: big enough to exercise every op type, small enough to stay fast.
+func profileArgs(format string) []string {
+	return []string{"profile", "-ops", "300", "-seed", "7", "-clients", "6", "-format", format}
+}
+
+func TestProfileGolden(t *testing.T) {
+	var out strings.Builder
+	if err := run(profileArgs("text"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "critical-path attribution") {
+		t.Fatalf("missing attribution table:\n%s", out.String())
+	}
+	checkGolden(t, "profile.golden", out.String())
+
+	// Byte-identical across runs in the same process too.
+	var again strings.Builder
+	if err := run(profileArgs("text"), &again); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != again.String() {
+		t.Fatal("profile output not deterministic across same-seed runs")
+	}
+}
+
+func TestProfileChromeGolden(t *testing.T) {
+	var out strings.Builder
+	if err := run(profileArgs("chrome"), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, `{"displayTimeUnit":"ms"`) || !strings.Contains(got, `"ph":"X"`) {
+		t.Fatalf("not a chrome trace:\n%.200s", got)
+	}
+	checkGolden(t, "profile_chrome.golden", got)
+}
+
+func TestProfileFoldedGolden(t *testing.T) {
+	var out strings.Builder
+	if err := run(profileArgs("folded"), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed folded line %q", line)
+		}
+	}
+	checkGolden(t, "profile_folded.golden", out.String())
+}
+
+func TestTimelineCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"timeline", "-ops", "300", "-seed", "7", "-clients", "6", "-interval", "10ms"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("timeline is not valid CSV: %v", err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("timeline too short:\n%s", out.String())
+	}
+	header := strings.Join(rows[0], "|")
+	if rows[0][0] != "t_ms" || !strings.Contains(header, "net.link.bytes") {
+		t.Fatalf("timeline header = %q", header)
+	}
+	for i, r := range rows[1:] {
+		if len(r) != len(rows[0]) {
+			t.Fatalf("row %d has %d fields, header has %d", i+1, len(r), len(rows[0]))
+		}
+	}
+
+	var again strings.Builder
+	if err := run([]string{"timeline", "-ops", "300", "-seed", "7", "-clients", "6", "-interval", "10ms"}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != again.String() {
+		t.Fatal("timeline not deterministic across same-seed runs")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"hopsfscl/internal/core"
 	"hopsfscl/internal/metrics"
 	"hopsfscl/internal/ndb"
+	"hopsfscl/internal/profile"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
 	"hopsfscl/internal/trace"
@@ -254,6 +255,27 @@ func Fig6(o ExpOptions) (string, error) {
 	}, "Requests handled per metadata server per second"), nil
 }
 
+// renderAttribution formats one "where the time went" table: a row per
+// labeled report, a column per attribution category, each cell that
+// category's share of the report's critical-path time. Untraced setups
+// (CephFS clients bypass the tracer) render as all "-".
+func renderAttribution(labels []string, reps []*profile.Report) string {
+	header := []string{"setup"}
+	for c := profile.Category(0); c < profile.NumCategories; c++ {
+		header = append(header, c.String())
+	}
+	tbl := metrics.NewTable(header...)
+	for i, rep := range reps {
+		row := []string{labels[i]}
+		byCat, total := rep.Totals()
+		for c := profile.Category(0); c < profile.NumCategories; c++ {
+			row = append(row, profile.PctCell(byCat[c], total))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String()
+}
+
 // Fig7 runs the four micro-benchmarks at the largest server count.
 func Fig7(o ExpOptions) (string, error) {
 	servers := o.MicroServers()
@@ -264,13 +286,17 @@ func Fig7(o ExpOptions) (string, error) {
 	// benchmark thread drives its own file set, as the paper's tool does.
 	microCfg.WarmOpsPerClient = 30
 	microCfg.Affinity = 1.0
+	microCfg.Profile = true
 	cols := []string{"operation"}
 	for _, s := range core.PaperSetups {
 		cols = append(cols, s.Name)
 	}
 	tbl := metrics.NewTable(cols...)
+	var attribution strings.Builder
 	for _, op := range micro {
 		row := []string{op.String()}
+		var labels []string
+		var reps []*profile.Report
 		for _, setup := range core.PaperSetups {
 			cfg := microCfg
 			cfg.Mix = workload.MicroMix(op)
@@ -294,10 +320,15 @@ func Fig7(o ExpOptions) (string, error) {
 			res := Run(d, cfg)
 			d.Close()
 			row = append(row, metrics.FormatOps(res.Throughput))
+			labels = append(labels, setup.Name)
+			reps = append(reps, res.Profile)
 		}
 		tbl.AddRow(row...)
+		fmt.Fprintf(&attribution, "\n%s — critical-path share of end-to-end time:\n%s",
+			op, renderAttribution(labels, reps))
 	}
-	return fmt.Sprintf("Micro-operation throughput (ops/s) with %d metadata servers\n%s", servers, tbl.String()), nil
+	return fmt.Sprintf("Micro-operation throughput (ops/s) with %d metadata servers\n%s\nwhere the time went, per AZ configuration:\n%s",
+		servers, tbl.String(), attribution.String()), nil
 }
 
 // Fig8 reports average end-to-end latency across the sweep.
@@ -323,11 +354,14 @@ func Fig9(o ExpOptions) (string, error) {
 	for _, op := range ops {
 		cols := []string{"setup", "p50", "p90", "p99"}
 		tbl := metrics.NewTable(cols...)
+		var labels []string
+		var reps []*profile.Report
 		for _, setup := range core.PaperSetups {
 			cfg := runConfigFor(o)
 			cfg.Mix = workload.MicroMix(op)
 			cfg.WarmOpsPerClient = 30
 			cfg.Affinity = 1.0
+			cfg.Profile = true
 			opts := core.DefaultOptions(setup)
 			opts.MetadataServers = servers
 			opts.ClientsPerServer = max(1, opts.ClientsPerServer/4)
@@ -340,8 +374,12 @@ func Fig9(o ExpOptions) (string, error) {
 			res := Run(d, cfg)
 			d.Close()
 			tbl.AddRow(setup.Name, fmtMS(res.P50), fmtMS(res.P90), fmtMS(res.P99))
+			labels = append(labels, setup.Name)
+			reps = append(reps, res.Profile)
 		}
 		fmt.Fprintf(&b, "\n%s:\n%s", op, tbl.String())
+		fmt.Fprintf(&b, "where the time went (critical-path share of end-to-end time):\n%s",
+			renderAttribution(labels, reps))
 	}
 	return b.String(), nil
 }
@@ -729,7 +767,7 @@ func Ablations(o ExpOptions) (string, error) {
 	b.WriteString("\n(d) Optimistic batched path resolution — depth-8 stat, warm hint cache\n")
 	tblD := metrics.NewTable("variant", "mean", "p99")
 	for _, disable := range []bool{false, true} {
-		mean, p99, err := pathStatLatency(o, 8, disable)
+		mean, p99, _, err := pathStatLatency(o, 8, disable)
 		if err != nil {
 			return "", err
 		}

@@ -13,6 +13,7 @@ import (
 	"hopsfscl/internal/core"
 	"hopsfscl/internal/metrics"
 	"hopsfscl/internal/ndb"
+	"hopsfscl/internal/profile"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/trace"
 	"hopsfscl/internal/workload"
@@ -39,7 +40,18 @@ type RunConfig struct {
 	Affinity float64
 	// Seed feeds the generator.
 	Seed int64
+	// Profile enables detailed span capture and contention accounting over
+	// the measurement window: the Result gains a critical-path attribution
+	// report and the deployment's contention ledger, both reset at window
+	// start. Tracing adds no randomness, so enabling it does not perturb
+	// the measured schedule.
+	Profile bool
 }
+
+// ProfileSinkCap bounds the spans retained for a profiled window. When the
+// window completes more operations than this, the report covers the most
+// recent ProfileSinkCap and Result.SinkDropped says how many were evicted.
+const ProfileSinkCap = 32 << 10
 
 // DefaultRunConfig returns the quick-run measurement parameters. The paper
 // measures minutes of wall clock; in virtual time a few hundred
@@ -107,6 +119,17 @@ type Result struct {
 	// window: per-op latency/error/byte counters, 2PC phase timings, lock
 	// waits, TC-selection proximity, per-class network traffic.
 	Registry []trace.Sample
+
+	// Profile is the critical-path attribution of the window's traced
+	// operations (RunConfig.Profile only).
+	Profile *profile.Report
+	// Contention is the deployment's lock-contention ledger, reset at
+	// window start (RunConfig.Profile only; nil for CephFS setups).
+	Contention *ndb.ContentionLedger
+	// SinkDropped counts spans evicted from the profiling ring
+	// (RunConfig.Profile only); nonzero means Profile covers a suffix of
+	// the window.
+	SinkDropped int64
 }
 
 // HomeDirsPerClient is the dataset-locality width of one benchmark client
@@ -184,6 +207,13 @@ func Run(d *core.Deployment, cfg RunConfig) *Result {
 	serverReqs0 := sumInt64(d.ServerRequests())
 	readSlots0 := readSlotSnapshot(d)
 	reg0 := d.Registry.Snapshot()
+	var sink *trace.Sink
+	if cfg.Profile {
+		sink = d.EnableTracing(ProfileSinkCap)
+		if d.DB != nil {
+			d.DB.Contention().Reset()
+		}
+	}
 
 	measuring = true
 	env.RunFor(cfg.Window)
@@ -230,6 +260,13 @@ func Run(d *core.Deployment, cfg RunConfig) *Result {
 	res.CrossZoneRate = float64(d.Net.CrossZoneBytes()-crossZone0) / win
 	res.ReadSlots = diffReadSlots(readSlotSnapshot(d), readSlots0)
 	res.Registry = trace.Diff(reg0, d.Registry.Snapshot())
+	if cfg.Profile {
+		res.Profile = profile.Analyze(sink.Spans())
+		res.SinkDropped = sink.Dropped()
+		if d.DB != nil {
+			res.Contention = d.DB.Contention()
+		}
+	}
 	return res
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"hopsfscl/internal/core"
 	"hopsfscl/internal/metrics"
+	"hopsfscl/internal/profile"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/workload"
 )
@@ -15,8 +16,10 @@ import (
 // HopsFS-CL (3,3) deployment, with batched path resolution either enabled
 // or disabled (the serial per-component walk). The hint cache is warmed
 // first, so the batched variant measures the optimistic fast path the way
-// a steady-state server sees it.
-func pathStatLatency(o ExpOptions, depth int, disableBatched bool) (mean, p99 time.Duration, err error) {
+// a steady-state server sees it. The returned report attributes the
+// measured stats' critical path (the span ring is sized to retain exactly
+// the measured operations, evicting setup and warm-up spans).
+func pathStatLatency(o ExpOptions, depth int, disableBatched bool) (mean, p99 time.Duration, rep *profile.Report, err error) {
 	opts := core.DefaultOptions(core.PaperSetups[5]) // HopsFS-CL (3,3)
 	opts.MetadataServers = 3
 	opts.ClientsPerServer = 0
@@ -25,7 +28,7 @@ func pathStatLatency(o ExpOptions, depth int, disableBatched bool) (mean, p99 ti
 	opts.DisableBatchedResolve = disableBatched
 	d, err := core.Build(opts)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	defer d.Close()
 
@@ -39,6 +42,7 @@ func pathStatLatency(o ExpOptions, depth int, disableBatched bool) (mean, p99 ti
 	const warmStats = 16
 	const measuredStats = 200
 	hist := metrics.NewHistogram(measuredStats, o.Seed)
+	sink := d.EnableTracing(measuredStats)
 	cl := d.NS.NewClient(1, 9001, 1)
 	done := false
 	d.Env.Spawn("pathdepth", func(p *sim.Proc) {
@@ -66,9 +70,9 @@ func pathStatLatency(o ExpOptions, depth int, disableBatched bool) (mean, p99 ti
 	})
 	d.Env.RunFor(time.Minute)
 	if !done {
-		return 0, 0, fmt.Errorf("pathdepth: depth-%d run did not complete", depth)
+		return 0, 0, nil, fmt.Errorf("pathdepth: depth-%d run did not complete", depth)
 	}
-	return hist.Mean(), hist.Percentile(0.99), nil
+	return hist.Mean(), hist.Percentile(0.99), profile.Analyze(sink.Spans()), nil
 }
 
 // PathDepth measures stat latency as a function of path depth, with
@@ -84,12 +88,14 @@ func PathDepth(o ExpOptions) (string, error) {
 	}
 	tbl := metrics.NewTable("depth", "serial mean", "serial p99", "batched mean", "batched p99", "speedup")
 	var firstSerial, firstBatched, lastSerial, lastBatched time.Duration
+	var labels []string
+	var reps []*profile.Report
 	for i, depth := range depths {
-		serialMean, serialP99, err := pathStatLatency(o, depth, true)
+		serialMean, serialP99, serialRep, err := pathStatLatency(o, depth, true)
 		if err != nil {
 			return "", err
 		}
-		batchedMean, batchedP99, err := pathStatLatency(o, depth, false)
+		batchedMean, batchedP99, batchedRep, err := pathStatLatency(o, depth, false)
 		if err != nil {
 			return "", err
 		}
@@ -101,6 +107,10 @@ func PathDepth(o ExpOptions) (string, error) {
 			fmtMS(serialMean), fmtMS(serialP99),
 			fmtMS(batchedMean), fmtMS(batchedP99),
 			fmt.Sprintf("%.2fx", float64(serialMean)/float64(batchedMean)))
+		labels = append(labels,
+			fmt.Sprintf("depth %d serial", depth),
+			fmt.Sprintf("depth %d batched", depth))
+		reps = append(reps, serialRep, batchedRep)
 	}
 	growth := func(first, last time.Duration) string {
 		if first <= 0 {
@@ -112,7 +122,9 @@ func PathDepth(o ExpOptions) (string, error) {
 		"Stat latency vs path depth — hint-cache-primed batched resolution vs serial walk\n"+
 			"HopsFS-CL (3,3), 3 metadata servers, single zone-1 client\n%s"+
 			"latency growth depth %d -> %d: serial %s, batched %s\n"+
-			"(serial pays one storage round trip per component; batched reads the primed chain in one fan-out)\n",
+			"(serial pays one storage round trip per component; batched reads the primed chain in one fan-out)\n"+
+			"\nwhere the time went (critical-path share of measured stats):\n%s",
 		tbl.String(), depths[0], depths[len(depths)-1],
-		growth(firstSerial, lastSerial), growth(firstBatched, lastBatched)), nil
+		growth(firstSerial, lastSerial), growth(firstBatched, lastBatched),
+		renderAttribution(labels, reps)), nil
 }

@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"hopsfscl/internal/blocks"
 	"hopsfscl/internal/cephfs"
@@ -154,6 +155,9 @@ type Deployment struct {
 	Namespace *workload.Namespace
 
 	hostSeq int
+	// flightStop asks the flight-recorder ticker to exit at its next tick
+	// (see EnableFlightRecorder / StopBackground).
+	flightStop bool
 }
 
 // zoneSet returns the zones this deployment spans. Single-AZ deployments
@@ -342,8 +346,33 @@ func (d *Deployment) EnableTracing(capacity int) *trace.Sink {
 	return d.Tracer.EnableSink(capacity)
 }
 
+// EnableFlightRecorder starts a virtual-time ticker sampling the registry
+// into a bounded ring every interval: the run's black box, answering "what
+// did this signal look like over time" (see trace.FlightRecorder). keep
+// restricts captured metric names by prefix; none keeps everything. The
+// ticker is a background process — call StopBackground before expecting
+// Env.Run to quiesce.
+func (d *Deployment) EnableFlightRecorder(interval time.Duration, capacity int, keep ...string) *trace.FlightRecorder {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	fr := trace.NewFlightRecorder(d.Registry, interval, capacity)
+	fr.Keep(keep...)
+	d.Env.Spawn("flight-recorder", func(p *sim.Proc) {
+		for !d.flightStop {
+			p.Sleep(interval)
+			if d.flightStop {
+				return
+			}
+			fr.Record(p.Now())
+		}
+	})
+	return fr
+}
+
 // StopBackground halts housekeeping processes so Env.Run can quiesce.
 func (d *Deployment) StopBackground() {
+	d.flightStop = true
 	if d.DB != nil {
 		d.DB.StopBackground()
 	}

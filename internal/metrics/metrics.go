@@ -177,9 +177,13 @@ func OpsPerSec(ops int64, window time.Duration) float64 {
 	return float64(ops) / window.Seconds()
 }
 
-// FormatOps renders a rate as e.g. "1.66M", "800K", "950".
+// FormatOps renders a rate as e.g. "1.66M", "800K", "950". Non-finite
+// rates (a zero-duration window divided through, an empty measurement)
+// render as "0" rather than leaking NaN/Inf into report tables.
 func FormatOps(rate float64) string {
 	switch {
+	case math.IsNaN(rate) || math.IsInf(rate, 0):
+		return "0"
 	case rate >= 1e6:
 		return fmt.Sprintf("%.2fM", rate/1e6)
 	case rate >= 1e3:
@@ -196,9 +200,11 @@ func Sparkline(values []float64) string {
 		return ""
 	}
 	bars := []rune("▁▂▃▄▅▆▇█")
-	max := values[0]
+	// Non-finite values (NaN, ±Inf) render as the lowest bar and never set
+	// the scale, so one bad sample cannot flatten the series.
+	max := 0.0
 	for _, v := range values {
-		if v > max {
+		if v > max && !math.IsInf(v, 1) {
 			max = v
 		}
 	}
@@ -207,6 +213,10 @@ func Sparkline(values []float64) string {
 	}
 	var b strings.Builder
 	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			b.WriteRune(bars[0])
+			continue
+		}
 		idx := int(v / max * float64(len(bars)-1))
 		if idx < 0 {
 			idx = 0

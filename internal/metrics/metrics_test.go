@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -219,5 +220,98 @@ func TestSparkline(t *testing.T) {
 	}
 	if runes[0] >= runes[1] || runes[1] >= runes[2] {
 		t.Fatalf("bars not increasing: %q", got)
+	}
+}
+
+func TestZeroWindowAndEmptyGuards(t *testing.T) {
+	// Rates over an empty or inverted window must not divide by zero.
+	cases := []struct {
+		ops    int64
+		window time.Duration
+	}{
+		{0, 0}, {100, 0}, {100, -time.Second}, {0, time.Second},
+	}
+	for _, c := range cases {
+		if got := OpsPerSec(c.ops, c.window); got != 0 && c.window <= 0 {
+			t.Errorf("OpsPerSec(%d, %v) = %v, want 0", c.ops, c.window, got)
+		}
+		s := Rate(c.ops, c.window)
+		if strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+			t.Errorf("Rate(%d, %v) = %q", c.ops, c.window, s)
+		}
+	}
+
+	// An untouched histogram reports zeros, not NaN.
+	h := NewHistogram(16, 1)
+	if h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatalf("empty histogram: mean=%v max=%v count=%d", h.Mean(), h.Max(), h.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Percentile(q); got != 0 {
+			t.Fatalf("empty Percentile(%v) = %v", q, got)
+		}
+	}
+}
+
+func TestFormatOpsNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := FormatOps(v); got != "0" {
+			t.Errorf("FormatOps(%v) = %q, want \"0\"", v, got)
+		}
+	}
+	if got := FormatOps(1.66e6); got != "1.66M" {
+		t.Errorf("FormatOps(1.66e6) = %q", got)
+	}
+}
+
+func TestSparklineNonFinite(t *testing.T) {
+	s := Sparkline([]float64{math.NaN(), 1, math.Inf(1), 2, math.Inf(-1)})
+	if strings.Contains(s, "NaN") || len([]rune(s)) != 5 {
+		t.Fatalf("Sparkline with non-finite values = %q", s)
+	}
+	// The Inf must not flatten the finite values' scale: 2 is the max and
+	// renders as the top bar.
+	if []rune(s)[3] != '█' {
+		t.Fatalf("finite max not at full scale: %q", s)
+	}
+}
+
+func TestReservoirDeterministicPastCap(t *testing.T) {
+	// Two histograms with the same seed fed the same over-capacity sequence
+	// must retain identical reservoirs and report identical percentiles.
+	const n = 5000
+	a := NewHistogram(64, 42)
+	b := NewHistogram(64, 42)
+	for i := 0; i < n; i++ {
+		d := time.Duration((i*2654435761)%1000000) * time.Microsecond
+		a.Observe(d)
+		b.Observe(d)
+	}
+	if a.Count() != n || int64(len(a.samples)) != 64 {
+		t.Fatalf("reservoir state: count=%d retained=%d", a.Count(), len(a.samples))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Percentile(q) != b.Percentile(q) {
+			t.Fatalf("p%v diverged: %v vs %v", q*100, a.Percentile(q), b.Percentile(q))
+		}
+	}
+}
+
+func TestReservoirCrossSeedStability(t *testing.T) {
+	// Different seeds sample different subsets, but over a wide uniform
+	// stream the median estimate must stay near the true median — the
+	// reservoir is a sample, not a bias.
+	const n = 20000
+	trueMedian := 500 * time.Microsecond
+	for seed := int64(1); seed <= 5; seed++ {
+		h := NewHistogram(1024, seed)
+		for i := 0; i < n; i++ {
+			h.Observe(time.Duration((i*7919)%1000) * time.Microsecond)
+		}
+		p50 := h.Percentile(0.5)
+		lo, hi := trueMedian*9/10, trueMedian*11/10
+		if p50 < lo || p50 > hi {
+			t.Fatalf("seed %d: p50 = %v, want within [%v, %v]", seed, p50, lo, hi)
+		}
 	}
 }

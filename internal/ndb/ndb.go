@@ -114,6 +114,13 @@ type Cluster struct {
 	// both are nil for uninstrumented clusters (see SetTracer).
 	tracer *trace.Tracer
 	obs    *clusterObs
+
+	// ledger records who blocked whom on which table (nil until SetTracer
+	// attaches a registry); activeOps maps in-flight transaction IDs to
+	// the op type that issued them, so the ledger can name both sides of a
+	// wait-for edge.
+	ledger    *ContentionLedger
+	activeOps map[uint64]string
 }
 
 // 2PC phase indices for clusterObs.phase; names match the registry
@@ -146,6 +153,41 @@ type clusterObs struct {
 	// rows they carried, by proximity of the serving replica to the TC.
 	batchReads *trace.Counter
 	batchRows  [ProximityRemote + 1]*trace.Counter
+
+	// Contention metrics are registered lazily per table / op pair (the
+	// label space is data-dependent); the maps cache the handles so the
+	// blocking path pays one map hit after the first event.
+	reg        *trace.Registry
+	contBlocks map[string]*trace.Counter
+	contWait   map[string]*trace.Counter
+	contPairs  map[[2]string]*trace.Counter
+}
+
+// contention records one blocking event in the registry: per-table block
+// and wait counters plus a per-(holder, waiter) pair counter.
+func (o *clusterObs) contention(table, holder, waiter string, wait time.Duration) {
+	if o == nil {
+		return
+	}
+	cb := o.contBlocks[table]
+	if cb == nil {
+		cb = o.reg.Counter("ndb.contention.blocks", "table", table)
+		o.contBlocks[table] = cb
+	}
+	cb.Add(1)
+	cw := o.contWait[table]
+	if cw == nil {
+		cw = o.reg.Counter("ndb.contention.wait_ns", "table", table)
+		o.contWait[table] = cw
+	}
+	cw.Add(int64(wait))
+	pk := [2]string{holder, waiter}
+	cp := o.contPairs[pk]
+	if cp == nil {
+		cp = o.reg.Counter("ndb.contention.pairs", "holder", holder, "waiter", waiter)
+		o.contPairs[pk] = cp
+	}
+	cp.Add(1)
 }
 
 // proximityLabel names a §IV-A4 proximity distance for registry labels.
@@ -168,13 +210,21 @@ func (c *Cluster) SetTracer(tr *trace.Tracer) {
 	reg := tr.Registry()
 	if reg == nil {
 		c.obs = nil
+		c.ledger = nil
+		c.activeOps = nil
 		return
 	}
 	obs := &clusterObs{
 		lockAcq:    reg.Counter("txn.lock.acquisitions"),
 		lockWait:   reg.Timing("txn.lock_wait"),
 		batchReads: reg.Counter("ndb.batch.reads"),
+		reg:        reg,
+		contBlocks: make(map[string]*trace.Counter),
+		contWait:   make(map[string]*trace.Counter),
+		contPairs:  make(map[[2]string]*trace.Counter),
 	}
+	c.ledger = newContentionLedger()
+	c.activeOps = make(map[uint64]string)
 	for ph := 0; ph < numPhases; ph++ {
 		obs.phase[ph] = reg.Timing("txn.phase." + phaseNames[ph])
 	}
@@ -328,6 +378,20 @@ func (c *Cluster) CreateTable(name string, rowSize int, opts TableOptions) *Tabl
 
 // Table returns a table by name, or nil.
 func (c *Cluster) Table(name string) *Table { return c.tables[name] }
+
+// Contention returns the cluster's lock-contention ledger, or nil when no
+// registry-backed tracer is attached.
+func (c *Cluster) Contention() *ContentionLedger { return c.ledger }
+
+// opFor names the op type driving a transaction ID: the root span name
+// recorded at Begin, the process name for untraced internal work, or
+// "(unknown)" for IDs no longer in flight.
+func (c *Cluster) opFor(txn uint64) string {
+	if op, ok := c.activeOps[txn]; ok {
+		return op
+	}
+	return "(unknown)"
+}
 
 // SpreadPlacement returns datanode placements that realize the paper's
 // deployment diagrams (Figures 3 and 4): n datanodes spread evenly over the

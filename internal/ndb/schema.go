@@ -216,6 +216,33 @@ func (l *rowLock) removeWaiter(txn uint64) {
 	l.pump()
 }
 
+// blockerOf returns the transaction most plausibly blocking txn: the
+// lowest-ID current holder other than txn itself (deterministic despite the
+// holder map), else the queued waiter ahead of it. The second argument is
+// false when nothing is blocking.
+func (l *rowLock) blockerOf(txn uint64) (uint64, bool) {
+	var best uint64
+	found := false
+	for h := range l.holders {
+		if h == txn {
+			continue
+		}
+		if !found || h < best {
+			best = h
+			found = true
+		}
+	}
+	if found {
+		return best, true
+	}
+	for _, w := range l.waiters {
+		if w.txn != txn {
+			return w.txn, true
+		}
+	}
+	return 0, false
+}
+
 // pump grants waiters at the head of the queue while compatible.
 func (l *rowLock) pump() {
 	for len(l.waiters) > 0 {

@@ -75,6 +75,16 @@ func (c *Cluster) Begin(p *sim.Proc, origin *simnet.Node, originDomain simnet.Zo
 		originDomain: originDomain,
 		tc:           tc,
 	}
+	if c.activeOps != nil {
+		// Name the transaction after the client op driving it (the process
+		// name for untraced internal work), so the contention ledger can
+		// label both sides of a wait-for edge.
+		op := p.Span().OpName()
+		if op == "" {
+			op = p.Name()
+		}
+		c.activeOps[t.id] = op
+	}
 	if !c.net.TravelDeferred(p, origin, tc.Node, reqSize, c.cfg.RPCTimeout) {
 		return nil, ErrNodeUnavailable
 	}
@@ -730,6 +740,7 @@ func (t *Txn) abortLocked() {
 
 func (t *Txn) finish(committed bool) {
 	t.done = true
+	delete(t.c.activeOps, t.id)
 	if committed {
 		t.c.Stats.Committed++
 	} else {
@@ -753,11 +764,27 @@ func (t *Txn) lockRow(part *Partition, pk, key string, mode LockMode) error {
 		return nil
 	}
 	// Contended: park until granted or the deadlock-detection timeout.
+	// The blocker is identified now, while it still holds the lock (by the
+	// time the wait resolves it may have finished and vanished).
+	var holderOp string
+	if t.c.ledger != nil {
+		if blocker, ok := r.lock.blockerOf(t.id); ok {
+			holderOp = t.c.opFor(blocker)
+		} else {
+			holderOp = "(unknown)"
+		}
+	}
 	start := t.p.Now()
 	ls := t.p.Span().Child("lock_wait", start)
 	_, ok := mb.RecvTimeout(t.p, t.c.cfg.LockTimeout)
+	wait := t.p.Now() - start
 	if obs != nil {
-		obs.lockWait.Observe(t.p.Now() - start)
+		obs.lockWait.Observe(wait)
+	}
+	if t.c.ledger != nil {
+		table := part.table.name
+		t.c.ledger.record(t.p.Now(), table, holderOp, t.c.opFor(t.id), mode, wait, !ok)
+		obs.contention(table, holderOp, t.c.opFor(t.id), wait)
 	}
 	if !ok {
 		ls.SetAttr("timeout", "true")

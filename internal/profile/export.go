@@ -1,0 +1,120 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"hopsfscl/internal/trace"
+)
+
+// WriteChromeTrace renders span trees as Chrome Trace Event JSON (the
+// chrome://tracing / Perfetto "JSON Array with metadata" flavor): one
+// complete ("X") event per span, timestamps in microseconds of virtual
+// time, one track (tid) per root operation so concurrent operations render
+// side by side. The JSON is hand-assembled with integer-math timestamp
+// formatting so output is byte-identical for identical spans.
+func WriteChromeTrace(w io.Writer, spans []*trace.Span) error {
+	type event struct {
+		ts, dur int64 // nanoseconds
+		tid     uint64
+		id      trace.SpanID
+		span    *trace.Span
+	}
+	var events []event
+	for _, root := range spans {
+		if root == nil || root.Root() != root {
+			continue
+		}
+		tid := uint64(root.ID)
+		var walk func(s *trace.Span)
+		walk = func(s *trace.Span) {
+			events = append(events, event{
+				ts:   s.Start.Nanoseconds(),
+				dur:  s.Duration().Nanoseconds(),
+				tid:  tid,
+				id:   s.ID,
+				span: s,
+			})
+			for _, c := range s.Children {
+				walk(c)
+			}
+		}
+		walk(root)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].ts != events[j].ts {
+			return events[i].ts < events[j].ts
+		}
+		if events[i].tid != events[j].tid {
+			return events[i].tid < events[j].tid
+		}
+		return events[i].id < events[j].id
+	})
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	for i, e := range events {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		s := e.span
+		bw.WriteString("\n{\"name\":")
+		bw.WriteString(strconv.Quote(s.Name))
+		bw.WriteString(",\"ph\":\"X\",\"pid\":1,\"tid\":")
+		fmt.Fprintf(bw, "%d", e.tid)
+		bw.WriteString(",\"ts\":")
+		writeMicros(bw, e.ts)
+		bw.WriteString(",\"dur\":")
+		writeMicros(bw, e.dur)
+		bw.WriteString(",\"args\":{")
+		writeArgs(bw, s)
+		bw.WriteString("}}")
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// writeMicros renders nanoseconds as microseconds with three decimals,
+// using integer math only (float formatting of large ns counts would lose
+// precision and determinism).
+func writeMicros(bw *bufio.Writer, ns int64) {
+	neg := ns < 0
+	if neg {
+		ns = -ns
+		bw.WriteByte('-')
+	}
+	fmt.Fprintf(bw, "%d.%03d", ns/1000, ns%1000)
+}
+
+// writeArgs emits the span's annotations: span ID, error flag, attributes,
+// and per-class hop counts/bytes/wire time when present.
+func writeArgs(bw *bufio.Writer, s *trace.Span) {
+	first := true
+	field := func(key, val string) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString(strconv.Quote(key))
+		bw.WriteByte(':')
+		bw.WriteString(val)
+	}
+	field("span", fmt.Sprintf("%d", uint64(s.ID)))
+	if s.Err {
+		field("err", "true")
+	}
+	for _, a := range s.Attrs {
+		field(a.Key, strconv.Quote(a.Value))
+	}
+	for c := trace.HopClass(0); c < trace.NumHopClasses; c++ {
+		if s.HopCount[c] == 0 {
+			continue
+		}
+		field("hops."+c.String(), fmt.Sprintf("%d", s.HopCount[c]))
+		field("bytes."+c.String(), fmt.Sprintf("%d", s.HopBytes[c]))
+		field("wire_us."+c.String(), fmt.Sprintf("%d", s.HopTime[c].Microseconds()))
+	}
+}

@@ -123,10 +123,15 @@ type Network struct {
 	obs *netObs
 }
 
-// netObs caches registry handles so the per-message cost is two atomic adds.
+// netObs caches registry handles so the per-message cost is two atomic adds
+// (plus one map lookup for the per-zone-pair link counter).
 type netObs struct {
 	bytes [trace.NumHopClasses]*trace.Counter
 	msgs  [trace.NumHopClasses]*trace.Counter
+	// linkBytes counts traffic per directed zone pair
+	// (net.link.bytes{from=...,to=...}), the per-AZ signal the flight
+	// recorder samples over time.
+	linkBytes map[[2]ZoneID]*trace.Counter
 }
 
 type link struct {
@@ -165,12 +170,31 @@ func (n *Network) SetRegistry(reg *trace.Registry) {
 		n.obs = nil
 		return
 	}
-	obs := &netObs{}
+	obs := &netObs{linkBytes: make(map[[2]ZoneID]*trace.Counter)}
 	for c := trace.HopClass(0); c < trace.NumHopClasses; c++ {
 		obs.bytes[c] = reg.Counter("net.bytes", "class", c.String())
 		obs.msgs[c] = reg.Counter("net.msgs", "class", c.String())
 	}
+	for a := ZoneID(1); int(a) <= n.topo.Zones(); a++ {
+		for b := ZoneID(1); int(b) <= n.topo.Zones(); b++ {
+			obs.linkBytes[[2]ZoneID{a, b}] = reg.Counter("net.link.bytes",
+				"from", n.topo.ZoneName(a), "to", n.topo.ZoneName(b))
+		}
+	}
 	n.obs = obs
+}
+
+// observeLink counts one delivered message on the directed zone-pair link
+// counter (if a registry is attached).
+func (n *Network) observeLink(from, to ZoneID, size int) {
+	if n.obs == nil {
+		return
+	}
+	// Nodes always sit in a real zone, but guard the lookup anyway: an
+	// unknown pair simply goes uncounted.
+	if c, ok := n.obs.linkBytes[[2]ZoneID{from, to}]; ok {
+		c.Add(int64(size))
+	}
 }
 
 // HopClassOf classifies a message between two nodes by endpoint proximity:
@@ -375,7 +399,10 @@ func Deliver[T any](n *Network, from, to *Node, size int, mb *sim.Mailbox[T], v 
 // instead.
 func (n *Network) Travel(p *sim.Proc, from, to *Node, size int, timeout time.Duration) bool {
 	if from.alive && (from.zone == to.zone || !n.Partitioned(from.zone, to.zone)) {
-		p.Span().RecordHop(HopClassOf(from, to), size)
+		// The blocking form cannot know the wire time up front (transmit
+		// schedules it); it is off the hot metadata path, so hop time 0 is
+		// an acceptable attribution loss.
+		p.Span().RecordHop(HopClassOf(from, to), size, 0)
 	}
 	mb := sim.NewMailbox[struct{}](n.env)
 	n.transmit(from, to, size, func() { mb.Send(struct{}{}) })
@@ -405,7 +432,7 @@ func (n *Network) TravelDeferred(p *sim.Proc, from, to *Node, size int, timeout 
 	to.nicRead += int64(size)
 	hop := HopClassOf(from, to)
 	n.observe(hop, size)
-	p.Span().RecordHop(hop, size)
+	n.observeLink(from.zone, to.zone, size)
 	lat := n.latency(from, to)
 	key := [2]ZoneID{from.zone, to.zone}
 	lk := n.links[key]
@@ -434,7 +461,13 @@ func (n *Network) TravelDeferred(p *sim.Proc, from, to *Node, size int, timeout 
 			arrival = eff + tx
 		}
 	}
-	p.Defer(arrival + lat - eff)
+	// The hop's wire time is the whole deferral: queueing + transmission +
+	// propagation. Recorded after the delay computation so the profiler can
+	// attribute it, but before Defer (RecordHop consumes no randomness, so
+	// the RNG stream is unchanged).
+	wire := arrival + lat - eff
+	p.Span().RecordHop(hop, size, wire)
+	p.Defer(wire)
 	return true
 }
 
@@ -455,6 +488,7 @@ func (n *Network) transmit(from, to *Node, size int, handover func()) {
 	}
 	from.nicWrite += int64(size)
 	n.observe(HopClassOf(from, to), size)
+	n.observeLink(from.zone, to.zone, size)
 	lat := n.latency(from, to)
 	key := [2]ZoneID{from.zone, to.zone}
 	lk := n.links[key]

@@ -66,9 +66,12 @@ type Span struct {
 
 	// HopCount and HopBytes tally network messages by proximity class.
 	// On the root span they cover the whole tree; on detailed children
-	// they cover just that child's extent.
+	// they cover just that child's extent. HopTime accumulates the
+	// virtual time those messages spent in flight (queueing, transmission
+	// and propagation), the raw material of critical-path attribution.
 	HopCount [NumHopClasses]int64
 	HopBytes [NumHopClasses]int64
+	HopTime  [NumHopClasses]time.Duration
 
 	tracer   *Tracer
 	root     *Span
@@ -120,20 +123,41 @@ func (s *Span) SetError() {
 	s.root.Err = true
 }
 
-// RecordHop attributes one network message to the span's operation. The
-// root accumulates regardless of mode; the active child also accumulates
-// in detailed mode, so flame output can localize traffic per phase.
-func (s *Span) RecordHop(class HopClass, bytes int) {
+// RecordHop attributes one network message of the given wire time to the
+// span's operation. The root accumulates regardless of mode; the active
+// child also accumulates in detailed mode, so flame output and the
+// critical-path profiler can localize traffic per phase.
+func (s *Span) RecordHop(class HopClass, bytes int, d time.Duration) {
 	if s == nil {
 		return
 	}
 	r := s.root
 	r.HopCount[class]++
 	r.HopBytes[class] += int64(bytes)
+	r.HopTime[class] += d
 	if s != r && s.detailed {
 		s.HopCount[class]++
 		s.HopBytes[class] += int64(bytes)
+		s.HopTime[class] += d
 	}
+}
+
+// Root returns the root span of the tree this span belongs to (itself for
+// a root span, nil for a nil span).
+func (s *Span) Root() *Span {
+	if s == nil {
+		return nil
+	}
+	return s.root
+}
+
+// OpName returns the operation name of the span's root, or "" on nil: the
+// op type an instrumented subsystem is currently serving.
+func (s *Span) OpName() string {
+	if s == nil {
+		return ""
+	}
+	return s.root.Name
 }
 
 // Finish closes the span. Finishing a root span flushes its aggregates
@@ -211,6 +235,7 @@ func (t *Tracer) EnableSink(capacity int) *Sink {
 		return nil
 	}
 	s := NewSink(capacity)
+	s.evictions = t.reg.Counter("trace.sink.dropped")
 	t.sink.Store(s)
 	return s
 }
@@ -278,12 +303,18 @@ func (t *Tracer) opStats(name string) *opStats {
 
 // Sink is a bounded ring buffer of completed root spans: the newest
 // Capacity trees are retained, older ones are evicted in FIFO order.
+// Evictions are counted, so reports built from the ring can say whether
+// they saw the whole run or a truncated tail.
 type Sink struct {
-	mu    sync.Mutex
-	cap   int
-	buf   []*Span
-	next  int
-	total int64
+	mu      sync.Mutex
+	cap     int
+	buf     []*Span
+	next    int
+	total   int64
+	dropped int64
+	// evictions mirrors dropped into the registry (trace.sink.dropped);
+	// nil for sinks constructed outside a tracer.
+	evictions *Counter
 }
 
 // NewSink returns a sink retaining at most capacity spans (default 4096
@@ -307,6 +338,8 @@ func (k *Sink) Add(s *Span) {
 		k.buf = append(k.buf, s)
 		return
 	}
+	k.dropped++
+	k.evictions.Add(1)
 	k.buf[k.next] = s
 	k.next = (k.next + 1) % k.cap
 }
@@ -334,6 +367,17 @@ func (k *Sink) Total() int64 {
 	return k.total
 }
 
+// Dropped returns how many spans were evicted to make room — the count by
+// which any report built from the ring is truncated.
+func (k *Sink) Dropped() int64 {
+	if k == nil {
+		return 0
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.dropped
+}
+
 // Capacity returns the ring size.
 func (k *Sink) Capacity() int {
 	if k == nil {
@@ -351,6 +395,7 @@ func (k *Sink) Reset() {
 	k.buf = k.buf[:0]
 	k.next = 0
 	k.total = 0
+	k.dropped = 0
 	k.mu.Unlock()
 }
 

@@ -99,7 +99,7 @@ func TestNilSafety(t *testing.T) {
 		t.Fatal("nil tracer minted a span")
 	}
 	sp.SetAttr("k", "v")
-	sp.RecordHop(HopCrossZone, 10)
+	sp.RecordHop(HopCrossZone, 10, time.Millisecond)
 	sp.SetError()
 	sp.Finish(time.Second)
 	if sp.Child("c", 0) != nil {
@@ -122,8 +122,8 @@ func TestSpanNestingAndAggregation(t *testing.T) {
 	}
 	txn := root.Child("txn", 11*time.Millisecond)
 	prep := txn.Child("prepare", 12*time.Millisecond)
-	prep.RecordHop(HopCrossZone, 100)
-	prep.RecordHop(HopSameZone, 40)
+	prep.RecordHop(HopCrossZone, 100, 2*time.Millisecond)
+	prep.RecordHop(HopSameZone, 40, time.Millisecond)
 	prep.Finish(14 * time.Millisecond)
 	txn.Finish(18 * time.Millisecond)
 	root.Finish(20 * time.Millisecond)
@@ -173,7 +173,7 @@ func TestAggregateOnlyModeHasNoChildren(t *testing.T) {
 	if len(root.Attrs) != 0 {
 		t.Fatal("attr recorded without sink")
 	}
-	root.RecordHop(HopCrossZone, 50)
+	root.RecordHop(HopCrossZone, 50, time.Millisecond)
 	root.Finish(time.Millisecond)
 	snap := tr.Registry().Snapshot()
 	if v, _ := Lookup(snap, Name("op.stat.net.bytes", "class", "cross_az")); v != 50 {
@@ -233,7 +233,7 @@ func runFixedWorkload(tr *Tracer) {
 		base := time.Duration(i) * time.Millisecond
 		sp := tr.StartOp("mkdir", base)
 		c := sp.Child("txn", base+100*time.Microsecond)
-		c.RecordHop(HopCrossZone, 64*(i+1))
+		c.RecordHop(HopCrossZone, 64*(i+1), time.Millisecond)
 		c.SetAttr("tc", "ndb-1")
 		c.Finish(base + 500*time.Microsecond)
 		if i%5 == 0 {
