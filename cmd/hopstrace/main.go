@@ -12,7 +12,10 @@
 //	    Replay a trace file against a deployment and report virtual
 //	    throughput, latency, and cross-AZ traffic. With -trace, capture
 //	    detailed spans and print the 2PC phase breakdown plus the slowest
-//	    operations as flame-style span trees.
+//	    operations as flame-style span trees. Multi-row metadata writes go
+//	    through the batched write path and commit as node-group-coalesced
+//	    trains; the ndb.batch_write.* and ndb.commit.trains /
+//	    ndb.commit.rows_per_train registry counters report how rows packed.
 //
 //	hopstrace profile [-setup name] [-seed S] [-ops N] [-clients N] [-format text|folded|chrome] [-out file]
 //	    Generate and replay a trace with concurrent clients and detailed

@@ -166,10 +166,10 @@ func TestSetupsAndExperimentsListed(t *testing.T) {
 		t.Fatalf("setups = %d, want 9", got)
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 17 {
-		t.Fatalf("experiments = %d, want 17", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("experiments = %d, want 18", len(ids))
 	}
-	want := map[string]bool{"table1": true, "table2": true, "fig5": true, "fig14": true, "failures": true, "chaos": true, "phases": true}
+	want := map[string]bool{"table1": true, "table2": true, "fig5": true, "fig14": true, "failures": true, "chaos": true, "phases": true, "writefan": true}
 	for _, id := range ids {
 		delete(want, id)
 	}

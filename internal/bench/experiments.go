@@ -82,6 +82,7 @@ var Experiments = []Experiment{
 	{ID: "fig13", Title: "Figure 13: per-metadata-server network and disk utilization", Run: Fig13},
 	{ID: "fig14", Title: "Figure 14: AZ-local reads with/without Read Backup", Run: Fig14},
 	{ID: "pathdepth", Title: "Path depth: stat latency, batched vs serial resolution", Run: PathDepth},
+	{ID: "writefan", Title: "Write fan: multi-row txn latency and wire footprint, batched vs serial", Run: WriteFan},
 	{ID: "failures", Title: "Section V-F: failure drills (AZ loss, split brain, NN loss)", Run: Failures},
 	{ID: "chaos", Title: "Chaos: seeded random fault campaigns with invariant auditing", Run: Chaos},
 	{ID: "ablations", Title: "Design-choice ablations: Read Backup, batching, block backend", Run: Ablations},
@@ -657,7 +658,8 @@ func Chaos(o ExpOptions) (string, error) {
 //	(a) the Read Backup table option (AZ-local reads) on vs off,
 //	(b) NDB executor batching on vs off at saturation,
 //	(c) datanode-replicated blocks vs the §VII cloud object store backend,
-//	(d) optimistic batched path resolution on vs off at depth 8.
+//	(d) optimistic batched path resolution on vs off at depth 8,
+//	(e) the batched write path (commit trains) on vs off at 8 rows per txn.
 func Ablations(o ExpOptions) (string, error) {
 	var b strings.Builder
 	setup := core.PaperSetups[5] // HopsFS-CL (3,3)
@@ -778,6 +780,22 @@ func Ablations(o ExpOptions) (string, error) {
 		tblD.AddRow(name, fmtMS(mean), fmtMS(p99))
 	}
 	b.WriteString(tblD.String())
+
+	// (e) Batched write path.
+	b.WriteString("\n(e) Batched write path — 8-row write transaction, raw NDB, 3 AZs, RF 3\n")
+	tblE := metrics.NewTable("variant", "mean", "msgs/txn", "trains/txn")
+	for _, serial := range []bool{false, true} {
+		mean, msgs, trains, _, err := writeFanPoint(o, 8, serial)
+		if err != nil {
+			return "", err
+		}
+		name := "batched writes ON (commit trains)"
+		if serial {
+			name = "batched writes OFF (per-row chains)"
+		}
+		tblE.AddRow(name, fmtMS(mean), fmt.Sprintf("%.1f", msgs), fmt.Sprintf("%.1f", trains))
+	}
+	b.WriteString(tblE.String())
 	return b.String(), nil
 }
 
@@ -785,7 +803,8 @@ func Ablations(o ExpOptions) (string, error) {
 // reporting order.
 var TraceOps = []string{
 	"stat", "read", "list", "create", "mkdir", "delete", "rename",
-	"setPermission", "setOwner", "attachBlocks", "contentSummary",
+	"setPermission", "setOwner", "setQuota", "quota", "attachBlocks",
+	"contentSummary",
 }
 
 // RenderPhaseTable formats the transaction-phase breakdown of a registry

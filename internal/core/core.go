@@ -111,6 +111,10 @@ type Options struct {
 	// ignoring the hint cache's batching opportunity — the ablation
 	// isolating batched path resolution.
 	DisableBatchedResolve bool
+	// DisableBatchedWrites forces the serial write path: per-row staging
+	// round trips and one 2PC chain per row instead of coalesced commit
+	// trains — the ablation isolating the batched write path.
+	DisableBatchedWrites bool
 }
 
 // DefaultOptions returns the evaluation defaults for a setup.
@@ -221,6 +225,7 @@ func (d *Deployment) buildHops() error {
 	dbCfg.Replication = opts.Setup.MetaReplication
 	dbCfg.PartitionsPerTable = opts.PartitionsPerTable
 	dbCfg.AZAware = aware
+	dbCfg.DisableWriteBatching = opts.DisableBatchedWrites
 	if opts.NDBCosts != nil {
 		dbCfg.Costs = *opts.NDBCosts
 	}

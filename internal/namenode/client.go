@@ -348,3 +348,23 @@ func (cl *Client) SetPermission(p *sim.Proc, path string, perm uint16) error {
 func (cl *Client) SetOwner(p *sim.Proc, path, owner string) error {
 	return cl.do(p, "setOwner", 0, 0, func(nn *NameNode) error { return nn.SetOwner(p, path, owner) })
 }
+
+// SetQuota sets (or clears, with both limits zero) a directory's namespace
+// and storage-space quota.
+func (cl *Client) SetQuota(p *sim.Proc, path string, nsQuota, ssQuota int64) error {
+	return cl.do(p, "setQuota", 0, 0, func(nn *NameNode) error { return nn.SetQuota(p, path, nsQuota, ssQuota) })
+}
+
+// Quota returns a directory's quota limits and accumulated usage.
+func (cl *Client) Quota(p *sim.Proc, path string) (QuotaInfo, error) {
+	var out QuotaInfo
+	err := cl.do(p, "quota", 0, 0, func(nn *NameNode) error {
+		got, err := nn.Quota(p, path)
+		if err != nil {
+			return err
+		}
+		out = got
+		return nil
+	})
+	return out, err
+}

@@ -210,9 +210,11 @@ func (nn *NameNode) walkFrom(tx *ndb.Txn, chain []*Inode, comps []string) ([]*In
 	return chain, nil
 }
 
-// resolveParent resolves everything but the last component and returns the
-// parent inode plus the target's name.
-func (nn *NameNode) resolveParent(tx *ndb.Txn, comps []string) (*Inode, string, error) {
+// resolveParentChain resolves everything but the last component and returns
+// the full ancestor chain [root, ..., parent] plus the target's name. The
+// chain (not just the parent) is what mutations need: quota charges go to
+// every quota'd ancestor on the resolved path.
+func (nn *NameNode) resolveParentChain(tx *ndb.Txn, comps []string) ([]*Inode, string, error) {
 	if len(comps) == 0 {
 		return nil, "", ErrInvalidPath
 	}
@@ -220,11 +222,20 @@ func (nn *NameNode) resolveParent(tx *ndb.Txn, comps []string) (*Inode, string, 
 	if err != nil {
 		return nil, "", err
 	}
-	parent := chain[len(chain)-1]
-	if !parent.Dir {
+	if !chain[len(chain)-1].Dir {
 		return nil, "", ErrNotDir
 	}
-	return parent, comps[len(comps)-1], nil
+	return chain, comps[len(comps)-1], nil
+}
+
+// resolveParent resolves everything but the last component and returns the
+// parent inode plus the target's name.
+func (nn *NameNode) resolveParent(tx *ndb.Txn, comps []string) (*Inode, string, error) {
+	chain, name, err := nn.resolveParentChain(tx, comps)
+	if err != nil {
+		return nil, "", err
+	}
+	return chain[len(chain)-1], name, nil
 }
 
 // Mkdir creates a directory. The parent is share-locked (it must keep
@@ -241,10 +252,11 @@ func (nn *NameNode) Mkdir(p *sim.Proc, path string, perm uint16) error {
 	nn.Ops++
 	nn.annotate(p, path)
 	return nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
-		parent, name, err := nn.resolveParent(tx, comps)
+		chain, name, err := nn.resolveParentChain(tx, comps)
 		if err != nil {
 			return err
 		}
+		parent := chain[len(chain)-1]
 		if _, err := nn.lockInode(tx, parent.Parent, parent.Name, ndb.LockShared); err != nil {
 			return err
 		}
@@ -265,7 +277,11 @@ func (nn *NameNode) Mkdir(p *sim.Proc, path string, perm uint16) error {
 			Owner:  "hdfs",
 			Mtime:  p.Now(),
 		}
-		return tx.Insert(nn.ns.inodes, partKeyOf(parent.ID, name), inodeKey(parent.ID, name), ino)
+		// The inode row and any quota charges ride one batched write (a
+		// single-row batch stages exactly like a plain insert).
+		items := []ndb.BatchWrite{{Table: nn.ns.inodes, PartKey: partKeyOf(parent.ID, name), Key: inodeKey(parent.ID, name), Val: ino}}
+		items = append(items, nn.quotaCharges(chain, "c", ino.ID, 1, 0)...)
+		return tx.WriteBatch(items)
 	})
 }
 
@@ -286,10 +302,11 @@ func (nn *NameNode) Create(p *sim.Proc, path string, size int64) (*Inode, error)
 	nn.annotate(p, path)
 	var created *Inode
 	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
-		parent, name, err := nn.resolveParent(tx, comps)
+		chain, name, err := nn.resolveParentChain(tx, comps)
 		if err != nil {
 			return err
 		}
+		parent := chain[len(chain)-1]
 		if _, err := nn.lockInode(tx, parent.Parent, parent.Name, ndb.LockShared); err != nil {
 			return err
 		}
@@ -311,7 +328,15 @@ func (nn *NameNode) Create(p *sim.Proc, path string, size int64) (*Inode, error)
 			ino.InlineSize = size
 		}
 		created = ino
-		return tx.Insert(nn.ns.inodes, partKeyOf(parent.ID, name), inodeKey(parent.ID, name), ino)
+		// The inode row, the inline small-file payload (§II-A3), and any
+		// quota charges commit as one batched write — one staging message
+		// pair per primary, coalesced commit trains where chains coincide.
+		items := []ndb.BatchWrite{{Table: nn.ns.inodes, PartKey: partKeyOf(parent.ID, name), Key: inodeKey(parent.ID, name), Val: ino}}
+		if ino.InlineSize > 0 {
+			items = append(items, ndb.BatchWrite{Table: nn.ns.smallfiles, PartKey: partKey(ino.ID), Key: smallFileKey, Val: ino.InlineSize})
+		}
+		items = append(items, nn.quotaCharges(chain, "c", ino.ID, 1, size)...)
+		return tx.WriteBatch(items)
 	})
 	if err != nil {
 		return nil, err
@@ -366,6 +391,13 @@ func (nn *NameNode) GetBlockLocations(p *sim.Proc, path string) (*Inode, error) 
 		}
 		if ino.Dir {
 			return ErrIsDir
+		}
+		if ino.InlineSize > 0 {
+			// Small files are served straight from NDB (§II-A3): fetch the
+			// inline payload row alongside the metadata.
+			if _, _, err := tx.ReadCommitted(nn.ns.smallfiles, partKey(ino.ID), smallFileKey); err != nil {
+				return err
+			}
 		}
 		out = ino
 		return nil
@@ -441,10 +473,11 @@ func (nn *NameNode) Delete(p *sim.Proc, path string, recursive bool) ([]blocks.B
 	var freed []blocks.BlockID
 	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
 		freed = freed[:0]
-		parent, name, err := nn.resolveParent(tx, comps)
+		chain, name, err := nn.resolveParentChain(tx, comps)
 		if err != nil {
 			return err
 		}
+		parent := chain[len(chain)-1]
 		if _, err := nn.lockInode(tx, parent.Parent, parent.Name, ndb.LockShared); err != nil {
 			return err
 		}
@@ -452,7 +485,7 @@ func (nn *NameNode) Delete(p *sim.Proc, path string, recursive bool) ([]blocks.B
 		if err != nil {
 			return err
 		}
-		return nn.deleteSubtree(tx, target, recursive, &freed)
+		return nn.deleteSubtree(tx, chain, target, recursive, &freed)
 	})
 	if err != nil {
 		return nil, err
@@ -466,10 +499,15 @@ func (nn *NameNode) Delete(p *sim.Proc, path string, recursive bool) ([]blocks.B
 // deleteSubtree removes target and (recursively) its children within the
 // same transaction — HopsFS's atomic subtree delete. The tree is discovered
 // level by level, each level's directory listings fetched in one batched
-// fan-out (ScanBatch), children exclusively locked as found; the rows are
-// deleted once the frontier is exhausted.
-func (nn *NameNode) deleteSubtree(tx *ndb.Txn, target *Inode, recursive bool, freed *[]blocks.BlockID) error {
-	doomed := []*Inode{target}
+// fan-out (ScanBatch) and its children exclusively locked as found; then
+// every BFS level's rows — inode rows, inline small-file payloads, and the
+// quota records of dying quota'd directories — are deleted as one batched
+// write, so a level costs one staging message pair per primary instead of
+// one round trip per row. ancestors is the resolved chain above target; the
+// whole subtree is charged back to its quota'd ancestors as one aggregate
+// negative update.
+func (nn *NameNode) deleteSubtree(tx *ndb.Txn, ancestors []*Inode, target *Inode, recursive bool, freed *[]blocks.BlockID) error {
+	levels := [][]*Inode{{target}}
 	var level []*Inode
 	if target.Dir {
 		level = append(level, target)
@@ -488,7 +526,7 @@ func (nn *NameNode) deleteSubtree(tx *ndb.Txn, target *Inode, recursive bool, fr
 		if err != nil {
 			return err
 		}
-		var next []*Inode
+		var next, found []*Inode
 		for li, dir := range level {
 			if top && len(results[li]) > 0 && !recursive {
 				return ErrNotEmpty
@@ -501,20 +539,50 @@ func (nn *NameNode) deleteSubtree(tx *ndb.Txn, target *Inode, recursive bool, fr
 				if _, err := nn.lockInode(tx, dir.ID, child.Name, ndb.LockExclusive); err != nil {
 					return err
 				}
-				doomed = append(doomed, child)
+				found = append(found, child)
 				if child.Dir {
 					next = append(next, child)
 				}
 			}
 		}
+		if len(found) > 0 {
+			levels = append(levels, found)
+		}
 		top = false
 		level = next
 	}
-	for _, ino := range doomed {
-		*freed = append(*freed, ino.Blocks...)
-		if err := tx.Delete(nn.ns.inodes, partKeyOf(ino.Parent, ino.Name), inodeKey(ino.Parent, ino.Name)); err != nil {
+	var count, bytes int64
+	for _, lvl := range levels {
+		items := make([]ndb.BatchWrite, 0, len(lvl))
+		for _, ino := range lvl {
+			*freed = append(*freed, ino.Blocks...)
+			count++
+			bytes += ino.Size
+			items = append(items, ndb.BatchWrite{Table: nn.ns.inodes, PartKey: partKeyOf(ino.Parent, ino.Name), Key: inodeKey(ino.Parent, ino.Name), Del: true})
+			if ino.InlineSize > 0 {
+				items = append(items, ndb.BatchWrite{Table: nn.ns.smallfiles, PartKey: partKey(ino.ID), Key: smallFileKey, Del: true})
+			}
+			if ino.Dir && (ino.QuotaNS != 0 || ino.QuotaSS != 0) {
+				// A dying quota'd directory takes its quota records with it:
+				// the authoritative row plus its accumulated usage updates.
+				items = append(items, ndb.BatchWrite{Table: nn.ns.quotas, PartKey: partKey(ino.ID), Key: quotaRecordKey, Del: true})
+				kvs, err := tx.ScanPrefix(nn.ns.quotas, partKey(ino.ID), quotaUpdatePrefix)
+				if err != nil {
+					return err
+				}
+				for _, kv := range kvs {
+					items = append(items, ndb.BatchWrite{Table: nn.ns.quotas, PartKey: partKey(ino.ID), Key: kv.Key, Del: true})
+				}
+			}
+		}
+		if err := tx.WriteBatch(items); err != nil {
 			return err
 		}
+	}
+	if charges := nn.quotaCharges(ancestors, "d", target.ID, -count, -bytes); len(charges) > 0 {
+		// One aggregate negative charge for the whole subtree, keyed by the
+		// delete target so repeated deletes under one quota never collide.
+		return tx.WriteBatch(charges)
 	}
 	return nil
 }
@@ -594,10 +662,15 @@ func (nn *NameNode) Rename(p *sim.Proc, src, dst string) error {
 		moved.Parent = dstParent.ID
 		moved.Name = dstName
 		moved.Mtime = p.Now()
-		if err := tx.Delete(nn.ns.inodes, partKeyOf(srcParent.ID, srcName), inodeKey(srcParent.ID, srcName)); err != nil {
-			return err
-		}
-		return tx.Insert(nn.ns.inodes, partKeyOf(dstParent.ID, dstName), inodeKey(dstParent.ID, dstName), &moved)
+		// The unlink and the relink stage as one batched write and — when
+		// both rows land on the same replica chain — commit as one train.
+		// An inline payload row is keyed by the file's own inode id, so it
+		// moves with the file untouched. Quota usage is not migrated across
+		// quota boundaries (see quota.go).
+		return tx.WriteBatch([]ndb.BatchWrite{
+			{Table: nn.ns.inodes, PartKey: partKeyOf(srcParent.ID, srcName), Key: inodeKey(srcParent.ID, srcName), Del: true},
+			{Table: nn.ns.inodes, PartKey: partKeyOf(dstParent.ID, dstName), Key: inodeKey(dstParent.ID, dstName), Val: &moved},
+		})
 	})
 	if err == nil {
 		// Everything under the old path now resolves differently, and a

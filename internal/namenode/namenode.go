@@ -119,6 +119,35 @@ type Inode struct {
 	InlineSize int64
 	// Blocks lists the block layer blocks of large files.
 	Blocks []blocks.BlockID
+	// QuotaNS/QuotaSS are the directory's namespace (inode count) and
+	// storage-space (logical bytes) quota limits, 0 meaning unset. The
+	// authoritative record lives in the quotas table; the inode carries a
+	// copy so resolution sees quota'd ancestors without extra reads
+	// (HopsFS's INodeAttributes pattern).
+	QuotaNS int64
+	QuotaSS int64
+}
+
+// QuotaRecord is the authoritative quota row of a directory (the "q" row in
+// the quotas table, partitioned by the directory's inode id).
+type QuotaRecord struct {
+	NS int64 // namespace limit (files + directories), 0 = unset
+	SS int64 // storage-space limit (logical bytes), 0 = unset
+}
+
+// QuotaUpdate is one asynchronous usage delta under a quota'd directory.
+// HopsFS applies quota charges as append-only update rows folded in the
+// background rather than read-modify-write on one hot row; usage is the sum
+// of a directory's update rows ("u/..." keys in its quotas partition).
+type QuotaUpdate struct {
+	NS int64
+	SS int64
+}
+
+// QuotaInfo is a directory's quota limits plus its accumulated usage.
+type QuotaInfo struct {
+	NS, SS         int64 // limits (0 = unset)
+	UsedNS, UsedSS int64 // inodes created / bytes written under the quota
 }
 
 // Namesystem is the shared file system state: the NDB tables, the block
@@ -128,8 +157,10 @@ type Namesystem struct {
 	blockMgr *blocks.Manager
 	cfg      Config
 
-	inodes   *ndb.Table
-	election *ndb.Table
+	inodes     *ndb.Table
+	election   *ndb.Table
+	smallfiles *ndb.Table
+	quotas     *ndb.Table
 
 	nns    []*NameNode
 	idSeq  uint64
@@ -229,6 +260,13 @@ func NewNamesystem(db *ndb.Cluster, blockMgr *blocks.Manager, cfg Config) *Names
 		ReadBackup:      cfg.ReadBackup,
 		FullyReplicated: true,
 	})
+	// Small-file payloads live inline in NDB (§II-A3) in their own
+	// wide-row table, partitioned by the owning file's inode id so the
+	// data row survives renames untouched.
+	ns.smallfiles = db.CreateTable("smallfiles", 4096, ndb.TableOptions{ReadBackup: cfg.ReadBackup})
+	// Quota rows: per quota'd directory one authoritative "q" record plus
+	// append-only "u/..." usage updates, partitioned by directory id.
+	ns.quotas = db.CreateTable("quotas", 64, ndb.TableOptions{ReadBackup: cfg.ReadBackup})
 	ns.seedRoot()
 	if blockMgr != nil {
 		blockMgr.SetLeaderCheck(func() bool { return ns.Leader() != nil })

@@ -31,6 +31,13 @@ func newHarness(t *testing.T) *harness {
 // optional namesystem-config hook.
 func newHarnessCfg(t *testing.T, seed int64, tweak func(*Config)) *harness {
 	t.Helper()
+	return newHarnessFull(t, seed, nil, tweak)
+}
+
+// newHarnessFull additionally exposes the storage-layer config (e.g. to
+// disable write batching for the serial-reference comparisons).
+func newHarnessFull(t *testing.T, seed int64, dbTweak func(*ndb.Config), tweak func(*Config)) *harness {
+	t.Helper()
 	env := sim.New(seed)
 	t.Cleanup(env.Close)
 	net := simnet.New(env, simnet.USWest1())
@@ -38,6 +45,9 @@ func newHarnessCfg(t *testing.T, seed int64, tweak func(*Config)) *harness {
 	dbCfg.DataNodes = 6
 	dbCfg.Replication = 3
 	dbCfg.PartitionsPerTable = 12
+	if dbTweak != nil {
+		dbTweak(&dbCfg)
+	}
 	zones := []simnet.ZoneID{1, 2, 3}
 	db, err := ndb.New(env, net, dbCfg, ndb.SpreadPlacement(6, zones, 100),
 		[]ndb.Placement{{Zone: 1, Host: 200}, {Zone: 2, Host: 201}, {Zone: 3, Host: 202}})

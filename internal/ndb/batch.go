@@ -172,7 +172,7 @@ func (t *Txn) ReadBatch(gets []BatchGet) ([]BatchVal, error) {
 		}
 		return true
 	}
-	if !t.runBatch(groups, len(gets), serve) {
+	if !t.runBatch("read", groups, len(gets), serve) {
 		return nil, t.failAbort()
 	}
 	return out, nil
@@ -238,7 +238,7 @@ func (t *Txn) ScanBatch(scans []BatchScan) ([][]KV, error) {
 		}
 		return true
 	}
-	if !t.runBatch(groups, len(scans), serve) {
+	if !t.runBatch("read", groups, len(scans), serve) {
 		return nil, t.failAbort()
 	}
 	return out, nil
@@ -246,11 +246,13 @@ func (t *Txn) ScanBatch(scans []BatchScan) ([][]KV, error) {
 
 // runBatch executes the groups of one batch — inline when a single target
 // serves everything, concurrently via sub-processes otherwise — under one
-// "batch_read" child span carrying row/target counts. It returns false if
-// any group's target became unreachable.
-func (t *Txn) runBatch(groups []*batchGroup, rows int, serve func(p *sim.Proc, g *batchGroup) bool) bool {
+// "batch_<kind>" child span carrying row/target counts. kind is "read" or
+// "write" and selects which registry family counts the fan-out. It returns
+// false if any group failed (unreachable target, or a lock failure on the
+// write path).
+func (t *Txn) runBatch(kind string, groups []*batchGroup, rows int, serve func(p *sim.Proc, g *batchGroup) bool) bool {
 	obs := t.c.obs
-	sp := t.p.Span().Child("batch_read", t.p.EffNow())
+	sp := t.p.Span().Child("batch_"+kind, t.p.EffNow())
 	var prev *trace.Span
 	if sp != nil {
 		sp.SetAttr("rows", strconv.Itoa(rows))
@@ -264,10 +266,14 @@ func (t *Txn) runBatch(groups []*batchGroup, rows int, serve func(p *sim.Proc, g
 		}
 	}()
 	if obs != nil {
-		obs.batchReads.Add(1)
+		batches, rowsByProx := obs.batchReads, &obs.batchRows
+		if kind == "write" {
+			batches, rowsByProx = obs.batchWrites, &obs.batchWriteRows
+		}
+		batches.Add(1)
 		for _, g := range groups {
 			g.prox = domainProximity(t.tc.Node, t.tc.Domain, g.target)
-			obs.batchRows[g.prox].Add(int64(len(g.idx)))
+			rowsByProx[g.prox].Add(int64(len(g.idx)))
 		}
 	}
 	if len(groups) == 1 {
@@ -284,7 +290,7 @@ func (t *Txn) runBatch(groups []*batchGroup, rows int, serve func(p *sim.Proc, g
 	results := sim.NewMailbox[bool](t.c.env)
 	for _, g := range groups {
 		g := g
-		t.c.env.Spawn("batch-read", func(p *sim.Proc) {
+		t.c.env.Spawn("batch-"+kind, func(p *sim.Proc) {
 			p.SetSpan(fanSpan)
 			ok := serve(p, g)
 			p.Flush()

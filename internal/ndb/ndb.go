@@ -66,6 +66,12 @@ type Config struct {
 	// the cluster behaves like vanilla NDB deployed unaware (HopsFS
 	// baselines).
 	AZAware bool
+	// DisableWriteBatching forces the serial write path: WriteBatch stages
+	// rows one TC round trip at a time and Commit runs one 2PC chain per
+	// row instead of coalescing rows that share a replica chain into commit
+	// trains. It is the reference the batched path is compared against
+	// (writefan experiment, ablation (e), equivalence tests).
+	DisableWriteBatching bool
 	// Costs hold the calibrated CPU service demands.
 	Costs Costs
 }
@@ -124,7 +130,7 @@ type Cluster struct {
 }
 
 // 2PC phase indices for clusterObs.phase; names match the registry
-// (txn.phase.<name>) and the child-span names in commitChain.
+// (txn.phase.<name>) and the child-span names in commitTrain.
 const (
 	phasePrepare = iota
 	phaseCommit
@@ -153,6 +159,15 @@ type clusterObs struct {
 	// rows they carried, by proximity of the serving replica to the TC.
 	batchReads *trace.Counter
 	batchRows  [ProximityRemote + 1]*trace.Counter
+	// batchWrites counts WriteBatch fan-outs; batchWriteRows counts the rows
+	// they staged, by proximity of the locking primary replica to the TC.
+	batchWrites    *trace.Counter
+	batchWriteRows [ProximityRemote + 1]*trace.Counter
+	// commitTrains counts coalesced 2PC passes; trainRows is the
+	// rows-per-train distribution (a Timing abused as a histogram: one
+	// nanosecond per row, so count/sum/max read as trains/rows/largest).
+	commitTrains *trace.Counter
+	trainRows    *trace.Timing
 
 	// Contention metrics are registered lazily per table / op pair (the
 	// label space is data-dependent); the maps cache the handles so the
@@ -215,13 +230,16 @@ func (c *Cluster) SetTracer(tr *trace.Tracer) {
 		return
 	}
 	obs := &clusterObs{
-		lockAcq:    reg.Counter("txn.lock.acquisitions"),
-		lockWait:   reg.Timing("txn.lock_wait"),
-		batchReads: reg.Counter("ndb.batch.reads"),
-		reg:        reg,
-		contBlocks: make(map[string]*trace.Counter),
-		contWait:   make(map[string]*trace.Counter),
-		contPairs:  make(map[[2]string]*trace.Counter),
+		lockAcq:      reg.Counter("txn.lock.acquisitions"),
+		lockWait:     reg.Timing("txn.lock_wait"),
+		batchReads:   reg.Counter("ndb.batch.reads"),
+		batchWrites:  reg.Counter("ndb.batch_write.batches"),
+		commitTrains: reg.Counter("ndb.commit.trains"),
+		trainRows:    reg.Timing("ndb.commit.rows_per_train"),
+		reg:          reg,
+		contBlocks:   make(map[string]*trace.Counter),
+		contWait:     make(map[string]*trace.Counter),
+		contPairs:    make(map[[2]string]*trace.Counter),
 	}
 	c.ledger = newContentionLedger()
 	c.activeOps = make(map[uint64]string)
@@ -231,6 +249,7 @@ func (c *Cluster) SetTracer(tr *trace.Tracer) {
 	for d := ProximitySameHost; d <= ProximityRemote; d++ {
 		obs.tcSelect[d] = reg.Counter("ndb.tc_select", "prox", proximityLabel(d))
 		obs.batchRows[d] = reg.Counter("ndb.batch.rows", "prox", proximityLabel(d))
+		obs.batchWriteRows[d] = reg.Counter("ndb.batch_write.rows", "prox", proximityLabel(d))
 	}
 	c.obs = obs
 }

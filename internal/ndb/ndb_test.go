@@ -15,6 +15,13 @@ import (
 // zone. It returns a client node in zone 1.
 func testCluster(t *testing.T, azAware bool, rf int) (*sim.Env, *Cluster, *simnet.Node) {
 	t.Helper()
+	return testClusterCfg(t, azAware, rf, nil)
+}
+
+// testClusterCfg is testCluster with a config hook applied before the
+// cluster is built (e.g. to disable write batching).
+func testClusterCfg(t *testing.T, azAware bool, rf int, tweak func(*Config)) (*sim.Env, *Cluster, *simnet.Node) {
+	t.Helper()
 	env := sim.New(11)
 	t.Cleanup(env.Close)
 	net := simnet.New(env, simnet.USWest1())
@@ -23,6 +30,9 @@ func testCluster(t *testing.T, azAware bool, rf int) (*sim.Env, *Cluster, *simne
 	cfg.Replication = rf
 	cfg.PartitionsPerTable = 12
 	cfg.AZAware = azAware
+	if tweak != nil {
+		tweak(&cfg)
+	}
 	zones := []simnet.ZoneID{1, 2, 3}
 	data := SpreadPlacement(cfg.DataNodes, zones, 100)
 	mgmt := []Placement{{Zone: 1, Host: 200}, {Zone: 2, Host: 201}, {Zone: 3, Host: 202}}

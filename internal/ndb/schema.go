@@ -44,6 +44,17 @@ func (t *Table) partitionFor(partKey string) *Partition {
 	return t.partitions[hashKey(partKey, len(t.partitions))]
 }
 
+// PrimaryFor returns the current primary replica datanode of the partition
+// holding partKey, or nil when the whole node group is down. Benchmarks use
+// it to pick partition keys with a known client/primary zone relationship.
+func (t *Table) PrimaryFor(partKey string) *DataNode {
+	reps := t.partitionFor(partKey).replicas()
+	if len(reps) == 0 {
+		return nil
+	}
+	return reps[0]
+}
+
 // Partition is one horizontal fragment of a table, owned by a node group.
 // The primary replica serves locked reads and heads the commit chain;
 // backups are readable under Read Backup. Row data is held once (replicas

@@ -2,7 +2,9 @@ package ndb
 
 import (
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
@@ -449,11 +451,15 @@ func (t *Txn) Delete(table *Table, partKey, key string) error {
 }
 
 // Commit runs the NDB commit protocol (§II-B2, Figure 2): a linear 2PC
-// chain per written row across the row's replicas, committing at the
-// primary on the reverse pass. For Read Backup tables the client Ack is
-// delayed until every backup has acknowledged the Complete phase (§IV-A3);
-// for fully replicated tables the chain covers every datanode. Read-only
-// transactions release their locks and return immediately.
+// pass per commit train across the train's replica chain, committing at the
+// primary on the reverse pass. Staged writes that share a replica chain
+// (same partition node group, same replica order — or the same full chain
+// for fully replicated rows) ride one train, so a multi-row transaction on
+// one chain costs one Prepare/Commit/Complete pass carrying the combined
+// payload instead of one chain per row. For Read Backup tables the client
+// Ack is delayed until every backup has acknowledged the Complete phase
+// (§IV-A3); for fully replicated tables the chain covers every datanode.
+// Read-only transactions release their locks and return immediately.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrAborted
@@ -470,20 +476,31 @@ func (t *Txn) Commit() error {
 		return nil
 	}
 
+	trains := t.buildTrains()
+	if obs := t.c.obs; obs != nil {
+		for _, ws := range trains {
+			obs.commitTrains.Add(1)
+			obs.trainRows.Observe(time.Duration(len(ws)))
+		}
+	}
 	results := sim.NewMailbox[error](t.c.env)
-	if len(t.writes) > 1 {
-		// Rows commit in parallel; sub-processes must start from the
+	single := len(trains) == 1
+	if !single {
+		// Trains commit in parallel; sub-processes must start from the
 		// transaction's current effective instant.
 		t.p.Flush()
 	}
-	single := len(t.writes) == 1
-	for i := range t.writes {
-		w := &t.writes[i]
-		t.tc.use(t.p, TC, cfg.Costs.TCCommitRow)
+	for _, ws := range trains {
+		ws := ws
+		// The TC charges one commit-row job per row regardless of how the
+		// rows are packed into trains.
+		for range ws {
+			t.tc.use(t.p, TC, cfg.Costs.TCCommitRow)
+		}
 		if single {
-			// A one-row transaction is trivially atomic: the chain applies
-			// the row at its commit point, as in Figure 2.
-			err := t.commitChain(t.p, w, readBackupFor(w), true)
+			// A one-train transaction is trivially atomic: the chain applies
+			// every row at its commit point, as in Figure 2.
+			err := t.commitTrain(t.p, ws, readBackupFor(ws[0]), true)
 			t.p.Flush()
 			results.Send(err)
 			continue
@@ -491,29 +508,29 @@ func (t *Txn) Commit() error {
 		// Sub-processes inherit the transaction's span so their network
 		// hops and phase timings stay attributed to the operation.
 		sp := t.p.Span()
-		t.c.env.Spawn("commit-chain", func(p *sim.Proc) {
+		t.c.env.Spawn("commit-train", func(p *sim.Proc) {
 			p.SetSpan(sp)
-			err := t.commitChain(p, w, readBackupFor(w), false)
+			err := t.commitTrain(p, ws, readBackupFor(ws[0]), false)
 			p.Flush()
 			results.Send(err)
 		})
 	}
 	var firstErr error
-	for range t.writes {
+	for range trains {
 		if err := results.Recv(t.p); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	if firstErr != nil {
-		// Atomic abort: with multi-row chains the staged writes were not
-		// applied (applyNow=false above), so a failure in any chain —
+		// Atomic abort: with multi-train commits the staged writes were not
+		// applied (applyNow=false above), so a failure in any train —
 		// e.g. a partition landing mid-2PC — leaves no half-commit.
 		t.releaseAll()
 		t.finish(false)
 		return firstErr
 	}
 	if !single {
-		// Atomic commit point: every chain prepared and committed its
+		// Atomic commit point: every train prepared and committed its
 		// replicas; the staged rows of the whole transaction become
 		// visible at one instant, under the locks still held.
 		t.p.Flush()
@@ -525,7 +542,7 @@ func (t *Txn) Commit() error {
 	t.releaseAll()
 	t.finish(true)
 	// Ack to the API client (message 10, or 14 under Read Backup — the
-	// timing difference is already inside commitChain).
+	// timing difference is already inside commitTrain).
 	t.tc.send(t.p)
 	if !t.c.net.TravelDeferred(t.p, t.tc.Node, t.origin, ackSize, cfg.RPCTimeout) {
 		return ErrNodeUnavailable
@@ -535,31 +552,86 @@ func (t *Txn) Commit() error {
 
 func readBackupFor(w *writeOp) bool { return w.part.table.opts.ReadBackup }
 
-// commitChain runs the per-row linear 2PC of Figure 2, returning when the
-// TC may count this row as committed (after Committed, or after all
-// Completed messages under Read Backup).
-// applyNow selects whether the chain applies the row itself at its commit
-// point (one-row transactions) or leaves the staged write for the caller
-// to apply once every chain of the transaction has succeeded (multi-row
-// atomicity under mid-flight failures).
-func (t *Txn) commitChain(p *sim.Proc, w *writeOp, readBackup, applyNow bool) error {
-	cfg := &t.c.cfg
-	table := w.part.table
+// buildTrains buckets the staged writes by identical replica chain,
+// preserving first-appearance order so the packing is deterministic. Two
+// rows share a train iff their partitions resolve to the same replica
+// datanodes in the same order (fully replicated rows compare their full
+// chain) and agree on Read Backup — exactly the condition under which one
+// linear 2PC pass can carry both. With write batching disabled every row is
+// its own single-row train, which is the old one-chain-per-row protocol.
+func (t *Txn) buildTrains() [][]*writeOp {
+	if t.c.cfg.DisableWriteBatching || len(t.writes) == 1 {
+		out := make([][]*writeOp, len(t.writes))
+		for i := range t.writes {
+			out[i] = []*writeOp{&t.writes[i]}
+		}
+		return out
+	}
+	var out [][]*writeOp
+	slot := make(map[string]int)
+	for i := range t.writes {
+		w := &t.writes[i]
+		key := t.chainKey(w)
+		j, ok := slot[key]
+		if !ok {
+			j = len(out)
+			slot[key] = j
+			out = append(out, nil)
+		}
+		out[j] = append(out[j], w)
+	}
+	return out
+}
+
+// chainKey fingerprints the replica chain a write's 2PC pass would walk,
+// plus its Read Backup mode (trains must agree on whether the Complete
+// phase is awaited).
+func (t *Txn) chainKey(w *writeOp) string {
 	chain := w.part.replicas()
+	if w.part.table.opts.FullyReplicated {
+		chain = t.fullChain(w.part)
+	}
+	var b strings.Builder
+	if readBackupFor(w) {
+		b.WriteByte('r')
+	}
+	for _, dn := range chain {
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(dn.Index))
+	}
+	return b.String()
+}
+
+// commitTrain runs the linear 2PC of Figure 2 for one train of same-chain
+// rows, returning when the TC may count the train as committed (after
+// Committed, or after all Completed messages under Read Backup). The pass
+// structure is per train — one message per hop per phase, carrying the
+// combined row payload — while the LDM work and REDO volume stay per row.
+// applyNow selects whether the train applies its rows itself at the commit
+// point (single-train transactions) or leaves the staged writes for the
+// caller to apply once every train of the transaction has succeeded
+// (multi-train atomicity under mid-flight failures).
+func (t *Txn) commitTrain(p *sim.Proc, ws []*writeOp, readBackup, applyNow bool) error {
+	cfg := &t.c.cfg
+	part := ws[0].part
+	chain := part.replicas()
 	if len(chain) == 0 {
 		return ErrNodeUnavailable
 	}
-	if table.opts.FullyReplicated {
+	if part.table.opts.FullyReplicated {
 		// §IV-A3: linear 2PC over the primary replicas of the changed row
 		// on all node groups (every datanode holds the data).
-		chain = t.fullChain(w.part)
+		chain = t.fullChain(part)
 	}
 	for _, dn := range chain {
 		if !dn.Alive() {
 			return ErrNodeUnavailable
 		}
 	}
-	rowBytes := reqSize + table.rowSize
+	trainBytes := reqSize
+	for _, w := range ws {
+		trainBytes += w.part.table.rowSize
+	}
 
 	// Phase instrumentation: each 2PC pass gets a child span (detailed
 	// mode only) and a registry timing. Hops made while a phase span is
@@ -593,17 +665,20 @@ func (t *Txn) commitChain(p *sim.Proc, w *writeOp, readBackup, applyNow bool) er
 	}()
 
 	// Prepare pass: TC -> primary -> backups -> ... ; last replica answers
-	// Prepared to the TC.
+	// Prepared to the TC. One message per hop carries the whole train's
+	// payload; each replica prepares (and REDO-logs) every row of the train.
 	beginPhase(phasePrepare)
 	prev := t.tc
 	for _, dn := range chain {
 		prev.send(p)
-		if !t.c.net.TravelDeferred(p, prev.Node, dn.Node, rowBytes, cfg.RPCTimeout) {
+		if !t.c.net.TravelDeferred(p, prev.Node, dn.Node, trainBytes, cfg.RPCTimeout) {
 			return ErrNodeUnavailable
 		}
 		dn.recv(p)
-		dn.use(p, LDM, cfg.Costs.LDMPrepare)
-		dn.redoPending += int64(table.rowSize)
+		for _, w := range ws {
+			dn.use(p, LDM, cfg.Costs.LDMPrepare)
+			dn.redoPending += int64(w.part.table.rowSize)
+		}
 		prev = dn
 	}
 	last := chain[len(chain)-1]
@@ -624,16 +699,20 @@ func (t *Txn) commitChain(p *sim.Proc, w *writeOp, readBackup, applyNow bool) er
 			return ErrNodeUnavailable
 		}
 		dn.recv(p)
-		dn.use(p, LDM, cfg.Costs.LDMCommit)
+		for range ws {
+			dn.use(p, LDM, cfg.Costs.LDMCommit)
+		}
 		prev = dn
 	}
 	// Synchronize with the virtual clock before the commit point: the
-	// primary applies the mutation and releases the row locks at the
-	// instant the Commit message actually reaches it. Multi-row
+	// primary applies the train's mutations and releases their row locks at
+	// the instant the Commit message actually reaches it. Multi-train
 	// transactions defer the apply to the transaction-wide commit point.
 	p.Flush()
 	if applyNow {
-		w.part.apply(w, t.id)
+		for _, w := range ws {
+			w.part.apply(w, t.id)
+		}
 	}
 	chain[0].send(p)
 	if !t.c.net.TravelDeferred(p, chain[0].Node, t.tc.Node, ackSize, cfg.RPCTimeout) {
@@ -649,10 +728,14 @@ func (t *Txn) commitChain(p *sim.Proc, w *writeOp, readBackup, applyNow bool) er
 		return nil
 	}
 	if !readBackup {
-		// Fire-and-forget Completes go through Send (no process), so they
-		// are counted in the registry's global net.* but not per-op.
+		// Fire-and-forget Completes go through Send (no process carries
+		// them), so simnet can only count them in the global net.* metrics.
+		// Record them on the active span too — zero wire time, the Travel
+		// convention, since they are off the Ack's critical path — so per-op
+		// attribution and the commit-phase profile stop under-counting.
 		for _, dn := range backups {
 			t.tc.send(p)
+			p.Span().RecordHop(simnet.HopClassOf(t.tc.Node, dn.Node), ackSize, 0)
 			t.c.net.Send(t.tc.Node, dn.Node, ackSize, "complete")
 		}
 		return nil
@@ -748,11 +831,19 @@ func (t *Txn) finish(committed bool) {
 	}
 }
 
-// lockRow acquires a row lock with the deadlock-detection timeout. The
-// process's deferred delay is flushed first so the lock is taken at the
-// correct virtual instant.
+// lockRow acquires a row lock with the deadlock-detection timeout, on the
+// transaction's own process.
 func (t *Txn) lockRow(part *Partition, pk, key string, mode LockMode) error {
-	t.p.Flush()
+	return t.lockRowOn(t.p, part, pk, key, mode)
+}
+
+// lockRowOn is lockRow on an explicit process: WriteBatch's concurrent
+// group sub-processes block on their own clocks while sharing the
+// transaction's lock set (appends are safe under the cooperative kernel —
+// exactly one process runs at a time). The process's deferred delay is
+// flushed first so the lock is taken at the correct virtual instant.
+func (t *Txn) lockRowOn(p *sim.Proc, part *Partition, pk, key string, mode LockMode) error {
+	p.Flush()
 	r := part.getRow(pk, key)
 	obs := t.c.obs
 	if obs != nil {
@@ -774,21 +865,21 @@ func (t *Txn) lockRow(part *Partition, pk, key string, mode LockMode) error {
 			holderOp = "(unknown)"
 		}
 	}
-	start := t.p.Now()
-	ls := t.p.Span().Child("lock_wait", start)
-	_, ok := mb.RecvTimeout(t.p, t.c.cfg.LockTimeout)
-	wait := t.p.Now() - start
+	start := p.Now()
+	ls := p.Span().Child("lock_wait", start)
+	_, ok := mb.RecvTimeout(p, t.c.cfg.LockTimeout)
+	wait := p.Now() - start
 	if obs != nil {
 		obs.lockWait.Observe(wait)
 	}
 	if t.c.ledger != nil {
 		table := part.table.name
-		t.c.ledger.record(t.p.Now(), table, holderOp, t.c.opFor(t.id), mode, wait, !ok)
+		t.c.ledger.record(p.Now(), table, holderOp, t.c.opFor(t.id), mode, wait, !ok)
 		obs.contention(table, holderOp, t.c.opFor(t.id), wait)
 	}
 	if !ok {
 		ls.SetAttr("timeout", "true")
-		ls.Finish(t.p.Now())
+		ls.Finish(p.Now())
 		r.lock.removeWaiter(t.id)
 		// The grant may have raced the timeout within the same instant.
 		if _, held := r.lock.holders[t.id]; held {
@@ -797,7 +888,7 @@ func (t *Txn) lockRow(part *Partition, pk, key string, mode LockMode) error {
 		}
 		return ErrLockTimeout
 	}
-	ls.Finish(t.p.Now())
+	ls.Finish(p.Now())
 	t.locks = append(t.locks, lockRef{part: part, pk: pk, key: key})
 	return nil
 }
