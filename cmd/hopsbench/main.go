@@ -26,12 +26,17 @@
 //	-full     run the paper's complete server-count grid (slower)
 //	-seed N   simulation seed (default 1)
 //	-clients N  closed-loop clients per metadata server (default 64)
+//	-json FILE  write every measured grid cell (setup x server count:
+//	            throughput, latency percentiles, CPU, cross-zone rate) as a
+//	            deterministic JSON report — the machine-readable companion
+//	            to the text tables (see BENCH_6.json for the recorded run)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"hopsfscl/internal/bench"
@@ -49,6 +54,7 @@ func run(args []string) error {
 	full := fs.Bool("full", false, "run the paper's complete server-count grid")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	clients := fs.Int("clients", 0, "closed-loop clients per metadata server (0 = default)")
+	jsonOut := fs.String("json", "", "write measured grid cells as a machine-readable JSON report to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +88,13 @@ func run(args []string) error {
 		fmt.Println(out)
 		fmt.Printf("(%s completed in %s)\n\n", exp.ID, time.Since(t0).Round(time.Millisecond))
 	}
+	if *jsonOut != "" {
+		cmd := "hopsbench " + strings.Join(args, " ")
+		if err := bench.WriteGridJSON(*jsonOut, cmd, ids); err != nil {
+			return fmt.Errorf("write %s: %w", *jsonOut, err)
+		}
+		fmt.Printf("wrote grid report to %s\n", *jsonOut)
+	}
 	return nil
 }
 
@@ -91,5 +104,5 @@ func usage() {
 	for _, e := range bench.Experiments {
 		fmt.Printf("  %-9s %s\n", e.ID, e.Title)
 	}
-	fmt.Println("\nusage: hopsbench [-full] [-seed N] [-clients N] <experiment>... | all | list")
+	fmt.Println("\nusage: hopsbench [-full] [-seed N] [-clients N] [-json FILE] <experiment>... | all | list")
 }

@@ -30,6 +30,18 @@
 //	    the selected metrics (per-AZ link traffic, lock waits, op rates)
 //	    over virtual time.
 //
+//	hopstrace slo [-setup name] [-seed S] [-spec file] [-schedule file] [-faults N] [-len D] [-out file]
+//	    Run a seeded chaos campaign with the live SLO engine attached and
+//	    render the alert/health timeline: burn-rate alerts
+//	    (fast-burn/slow-burn pairs over the spec's objectives), component
+//	    and cluster health transitions, per-fault time-to-detect alongside
+//	    MTTR, and the closing rolling latency summaries. The default
+//	    schedule injects the three detection classes (datanode death, zone
+//	    partition, degraded link); -schedule replays an explicit schedule
+//	    file and -faults N generates a random campaign instead. -spec reads
+//	    a declarative SLO spec (see internal/slo.ParseSpec); the default is
+//	    slo.DefaultSpec.
+//
 // The trace format is plain text: "<op> <path> [<dst>]", e.g.
 //
 //	mkdir /proj001/dsNew
@@ -46,10 +58,12 @@ import (
 	"time"
 
 	"hopsfscl/internal/bench"
+	"hopsfscl/internal/chaos"
 	"hopsfscl/internal/core"
 	"hopsfscl/internal/metrics"
 	"hopsfscl/internal/profile"
 	"hopsfscl/internal/sim"
+	"hopsfscl/internal/slo"
 	"hopsfscl/internal/trace"
 	"hopsfscl/internal/workload"
 )
@@ -63,7 +77,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: hopstrace gen|replay|profile|timeline [flags]")
+		return fmt.Errorf("usage: hopstrace gen|replay|profile|timeline|slo [flags]")
 	}
 	switch args[0] {
 	case "gen":
@@ -74,8 +88,10 @@ func run(args []string, stdout io.Writer) error {
 		return runProfile(args[1:], stdout)
 	case "timeline":
 		return runTimeline(args[1:], stdout)
+	case "slo":
+		return runSLO(args[1:], stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want gen, replay, profile or timeline)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want gen, replay, profile, timeline or slo)", args[0])
 	}
 }
 
@@ -398,6 +414,72 @@ func runTimeline(args []string, stdout io.Writer) error {
 	}
 	if *out != "" {
 		fmt.Fprintf(stdout, "wrote %d frames to %s\n", len(fr.Frames()), *out)
+	}
+	return nil
+}
+
+func runSLO(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("slo", flag.ContinueOnError)
+	setupName := fs.String("setup", "HopsFS-CL (3,3)", "deployment setup")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	specFile := fs.String("spec", "", "SLO spec file (default: built-in slo.DefaultSpec)")
+	schedFile := fs.String("schedule", "", "fault schedule file (default: the three-class detection schedule)")
+	faults := fs.Int("faults", 0, "generate N random faults instead of the detection schedule")
+	campLen := fs.Duration("len", 0, "campaign length for -faults generation (default 30s)")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := chaos.CampaignOptions{SetupName: *setupName, SLO: true}
+	if *specFile != "" {
+		text, err := os.ReadFile(*specFile)
+		if err != nil {
+			return err
+		}
+		spec, err := slo.ParseSpec(string(text))
+		if err != nil {
+			return err
+		}
+		opts.SLOSpec = spec
+	}
+	switch {
+	case *schedFile != "":
+		text, err := os.ReadFile(*schedFile)
+		if err != nil {
+			return err
+		}
+		sched, err := chaos.ParseSchedule(string(text))
+		if err != nil {
+			return err
+		}
+		opts.Schedule = sched
+	case *faults > 0:
+		opts.Faults = *faults
+		opts.CampaignLen = *campLen
+	default:
+		opts.Schedule = chaos.DetectionSchedule()
+	}
+	rep, err := chaos.RunCampaign(*seed, opts)
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := io.WriteString(w, rep.Render()); err != nil {
+		return err
+	}
+	if rep.SLO != nil {
+		fmt.Fprintln(w)
+		if _, err := io.WriteString(w, rep.SLO.Render()); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -121,6 +121,7 @@ func sweep(o ExpOptions, setups []core.Setup, counts []int) (map[string]map[int]
 				return nil, fmt.Errorf("%s @%d servers: %w", setup.Name, n, err)
 			}
 			sweepCache[key] = res
+			recordPoint(setup.Name, n, o, runConfigFor(o), res)
 			out[setup.Name][n] = res
 		}
 	}

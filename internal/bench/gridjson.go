@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"time"
+)
+
+// GridPoint is the machine-readable summary of one measured grid cell:
+// one setup at one metadata-server count. All values come straight from
+// the deterministic Result, so re-running the same grid with the same seed
+// reproduces the same bytes — the file diffs cleanly across versions and
+// gives the repo a perf trajectory alongside experiments_quick.txt.
+type GridPoint struct {
+	Setup            string  `json:"setup"`
+	Servers          int     `json:"servers"`
+	ClientsPerServer int     `json:"clients_per_server"`
+	Seed             int64   `json:"seed"`
+	WindowMs         float64 `json:"window_ms"`
+
+	Ops        int64   `json:"ops"`
+	Errors     int64   `json:"errors"`
+	Throughput float64 `json:"throughput_ops_s"`
+
+	AvgLatencyMs float64 `json:"avg_latency_ms"`
+	P50Ms        float64 `json:"p50_ms"`
+	P90Ms        float64 `json:"p90_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+
+	ServerCPU     float64 `json:"server_cpu"`
+	StorageCPU    float64 `json:"storage_cpu"`
+	CrossZoneRate float64 `json:"cross_zone_rate"`
+}
+
+// GridReport is the top-level document WriteGridJSON emits.
+type GridReport struct {
+	// Command documents how to regenerate the file.
+	Command string `json:"command"`
+	// Experiments lists the experiment ids whose sweeps fed the grid.
+	Experiments []string    `json:"experiments"`
+	Points      []GridPoint `json:"points"`
+}
+
+// recordedPoints accumulates every distinct grid cell measured by sweep()
+// in this process (experiments run sequentially; no locking needed).
+var recordedPoints []GridPoint
+
+func recordPoint(setup string, servers int, o ExpOptions, cfg RunConfig, res *Result) {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	recordedPoints = append(recordedPoints, GridPoint{
+		Setup:            setup,
+		Servers:          servers,
+		ClientsPerServer: o.ClientsPerServer,
+		Seed:             o.Seed,
+		WindowMs:         ms(cfg.Window),
+		Ops:              res.Ops,
+		Errors:           res.Errors,
+		Throughput:       res.Throughput,
+		AvgLatencyMs:     ms(res.AvgLatency),
+		P50Ms:            ms(res.P50),
+		P90Ms:            ms(res.P90),
+		P99Ms:            ms(res.P99),
+		ServerCPU:        res.ServerCPU,
+		StorageCPU:       res.StorageCPU,
+		CrossZoneRate:    res.CrossZoneRate,
+	})
+}
+
+// WriteGridJSON writes the grid cells measured so far as an indented JSON
+// report to path, sorted by (setup, servers) for stable diffs.
+func WriteGridJSON(path, command string, experiments []string) error {
+	pts := append([]GridPoint(nil), recordedPoints...)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Setup != pts[j].Setup {
+			return pts[i].Setup < pts[j].Setup
+		}
+		return pts[i].Servers < pts[j].Servers
+	})
+	rep := GridReport{Command: command, Experiments: experiments, Points: pts}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

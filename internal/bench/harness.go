@@ -15,6 +15,7 @@ import (
 	"hopsfscl/internal/ndb"
 	"hopsfscl/internal/profile"
 	"hopsfscl/internal/sim"
+	"hopsfscl/internal/slo"
 	"hopsfscl/internal/trace"
 	"hopsfscl/internal/workload"
 )
@@ -46,6 +47,12 @@ type RunConfig struct {
 	// start. Tracing adds no randomness, so enabling it does not perturb
 	// the measured schedule.
 	Profile bool
+	// SLO enables the live SLO engine for the run: the Result gains an
+	// SLOReport with rolling per-op percentiles, the alert log, and the
+	// closing health state. SLOSpec overrides the evaluated spec (zero
+	// value = slo.DefaultSpec).
+	SLO     bool
+	SLOSpec slo.Spec
 }
 
 // ProfileSinkCap bounds the spans retained for a profiled window. When the
@@ -130,6 +137,10 @@ type Result struct {
 	// (RunConfig.Profile only); nonzero means Profile covers a suffix of
 	// the window.
 	SinkDropped int64
+
+	// SLOReport is the live SLO engine's end-of-window report
+	// (RunConfig.SLO only).
+	SLOReport *slo.Report
 }
 
 // HomeDirsPerClient is the dataset-locality width of one benchmark client
@@ -214,6 +225,10 @@ func Run(d *core.Deployment, cfg RunConfig) *Result {
 			d.DB.Contention().Reset()
 		}
 	}
+	var sloEng *slo.Engine
+	if cfg.SLO {
+		sloEng = d.EnableSLO(cfg.SLOSpec)
+	}
 
 	measuring = true
 	env.RunFor(cfg.Window)
@@ -266,6 +281,9 @@ func Run(d *core.Deployment, cfg RunConfig) *Result {
 		if d.DB != nil {
 			res.Contention = d.DB.Contention()
 		}
+	}
+	if sloEng != nil {
+		res.SLOReport = sloEng.Report(now)
 	}
 	return res
 }

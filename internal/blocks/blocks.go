@@ -483,6 +483,21 @@ func (m *Manager) UnderReplicated() []*Block {
 	return out
 }
 
+// HealthStats reports the block tier's health signal: live vs expected
+// datanodes and the number of under-replicated blocks (the tier's pressure
+// signal — repair backlog). When a registry is attached it also refreshes
+// the blocks.datanodes.live and blocks.under_replicated gauges.
+func (m *Manager) HealthStats() (live, expected, underReplicated int) {
+	expected = len(m.dns)
+	live = len(m.liveNodes())
+	underReplicated = len(m.UnderReplicated())
+	if m.reg != nil {
+		m.reg.Gauge("blocks.datanodes.live").Set(float64(live))
+		m.reg.Gauge("blocks.under_replicated").Set(float64(underReplicated))
+	}
+	return live, expected, underReplicated
+}
+
 // monitor is the leader-driven re-replication loop (§IV-C2): when a
 // datanode failure leaves blocks under-replicated or breaks the AZ-spread
 // guarantee, a surviving replica is copied to a fresh target chosen by the

@@ -145,6 +145,23 @@ func (s Schedule) Render() string {
 	return b.String()
 }
 
+// DetectionSchedule is the canonical three-class fault sequence used to
+// exercise SLO detection: a datanode death, a zone partition, and a
+// degraded cross-zone link, each followed by its recovery. The classes
+// stress different detectors — node death surfaces through NDB liveness
+// health, a partition through arbitration fallout and availability burn,
+// a slow link through latency burn-rate alerts.
+func DetectionSchedule() Schedule {
+	return Schedule{
+		{At: 3 * time.Second, Kind: FaultCrashDN, Node: 0},
+		{At: 8 * time.Second, Kind: FaultRejoinDN, Node: 0},
+		{At: 14 * time.Second, Kind: FaultPartition, Zone: 1, ZoneB: 3},
+		{At: 19 * time.Second, Kind: FaultHeal, Zone: 1, ZoneB: 3},
+		{At: 25 * time.Second, Kind: FaultSlowLink, Zone: 1, ZoneB: 2, Factor: 50},
+		{At: 33 * time.Second, Kind: FaultRestoreLink, Zone: 1, ZoneB: 2},
+	}
+}
+
 // ParseSchedule reads a campaign from the line-oriented schedule syntax:
 //
 //	# comment

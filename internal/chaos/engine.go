@@ -9,6 +9,7 @@ import (
 	"hopsfscl/internal/namenode"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
+	"hopsfscl/internal/slo"
 )
 
 // Config parameterizes a campaign run.
@@ -126,6 +127,10 @@ type Engine struct {
 		ok int
 	}
 	marks []mark // fault injections, for MTTR
+
+	// slo, when attached, is consulted after the run to compute
+	// time-to-detect per injected fault (see AttachSLO).
+	slo *slo.Engine
 }
 
 // mark is one degrading step's injection time.
@@ -133,6 +138,13 @@ type mark struct {
 	step Step
 	at   time.Duration
 }
+
+// AttachSLO connects a live SLO engine (normally the deployment's, after
+// core.Deployment.EnableSLO): the campaign report then carries the full
+// alert/health timeline and a time-to-detect entry per degrading fault —
+// the delay until the first degrading alert or health transition at or
+// after the injection.
+func (e *Engine) AttachSLO(se *slo.Engine) { e.slo = se }
 
 // NewEngine prepares a campaign over an existing deployment. The
 // deployment must be a HopsFS variant (the auditor inspects NDB state).
@@ -203,8 +215,12 @@ func (e *Engine) Run() (*Report, error) {
 	e.lastSnap.at = start
 	e.checkpoint("baseline")
 
+	// Schedule step times are workload time: audit quiesces stop the
+	// workload clock, so each checkpoint's pause shifts later steps by the
+	// pause length. Without this a slow drain (e.g. auditing under a
+	// partition) would eat the dwell time of every subsequent fault.
 	for _, st := range e.sched {
-		target := start + st.At
+		target := start + st.At + e.pausedTotal()
 		if now := env.Now(); target > now {
 			env.RunFor(target - now)
 		}
@@ -215,7 +231,7 @@ func (e *Engine) Run() (*Report, error) {
 		e.checkpoint(st.String())
 	}
 
-	end := start + e.cfg.Duration
+	end := start + e.cfg.Duration + e.pausedTotal()
 	if now := env.Now(); end > now {
 		env.RunFor(end - now)
 	}
@@ -365,6 +381,15 @@ func (e *Engine) checkpoint(label string) {
 	e.pauses = append(e.pauses, Window{From: pauseStart, To: e.d.Env.Now()})
 	e.snapshot(label, len(viol))
 	e.paused = false
+}
+
+// pausedTotal returns the total time spent in audit pauses so far.
+func (e *Engine) pausedTotal() time.Duration {
+	var total time.Duration
+	for _, w := range e.pauses {
+		total += w.To - w.From
+	}
+	return total
 }
 
 // pausedBetween returns how much of [from, to) the workload spent

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hopsfscl/internal/core"
+	"hopsfscl/internal/slo"
 	"hopsfscl/internal/workload"
 )
 
@@ -20,6 +21,23 @@ type MTTREntry struct {
 	// Recovered is false when no operation succeeded after the fault
 	// (campaign ended first).
 	Recovered bool
+}
+
+// DetectEntry is the measured detection time of one degrading fault: the
+// gap between the injection and the first degrading SLO signal (a firing
+// burn-rate alert or a worsening health transition) at or after it, net of
+// audit pauses — the same workload-time base MTTR uses, so the two columns
+// compare directly.
+type DetectEntry struct {
+	Step Step
+	At   time.Duration
+	TTD  time.Duration
+	// Signal is the subject of the detecting event ("availability:99.9
+	// [fast]", "ndb: healthy -> critical").
+	Signal string
+	// Detected is false when no degrading signal followed the fault before
+	// the campaign ended; TTD then holds the censored bound.
+	Detected bool
 }
 
 // Window is one unavailability window: a span during which no client
@@ -49,6 +67,12 @@ type Report struct {
 	Unavail   []Window
 	Snapshots []Snapshot
 	Records   []Record
+
+	// Detect and SLO are populated when an SLO engine was attached (see
+	// Engine.AttachSLO): per-fault time-to-detect and the full alert/health
+	// report.
+	Detect []DetectEntry
+	SLO    *slo.Report
 }
 
 // Clean reports whether the campaign finished with zero invariant
@@ -93,6 +117,10 @@ func (e *Engine) report(start, end time.Duration) *Report {
 	}
 	r.MTTR = e.mttr(end)
 	r.Unavail = e.unavailability(start, end)
+	if e.slo != nil {
+		r.SLO = e.slo.Report(end)
+		r.Detect = e.detect(r.SLO, end)
+	}
 
 	reg := e.d.Registry
 	for _, rec := range e.records {
@@ -111,6 +139,12 @@ func (e *Engine) report(start, end time.Duration) *Report {
 			mt.Observe(m.MTTR)
 		}
 	}
+	tt := reg.Timing("chaos.ttd")
+	for _, de := range r.Detect {
+		if de.Detected {
+			tt.Observe(de.TTD)
+		}
+	}
 	ut := reg.Timing("chaos.unavailability")
 	for _, w := range r.Unavail {
 		ut.Observe(w.Dur())
@@ -118,6 +152,26 @@ func (e *Engine) report(start, end time.Duration) *Report {
 	reg.Counter("chaos.violations", "layer", "invariant").Add(int64(len(r.Violations)))
 	reg.Counter("chaos.violations", "layer", "history").Add(int64(len(r.Check.Violations)))
 	return r
+}
+
+// detect computes time-to-detect: for each degrading step, the delay until
+// the first degrading SLO event (alert fire or worsening health
+// transition) at or after the injection, net of audit pauses. Undetected
+// faults report the censored bound to campaign end.
+func (e *Engine) detect(sr *slo.Report, end time.Duration) []DetectEntry {
+	var out []DetectEntry
+	for _, m := range e.marks {
+		entry := DetectEntry{Step: m.step, At: m.at}
+		if ev, ok := sr.FirstDetection(m.at); ok {
+			entry.TTD = ev.At - m.at - e.pausedBetween(m.at, ev.At)
+			entry.Signal = ev.Subject
+			entry.Detected = true
+		} else {
+			entry.TTD = end - m.at - e.pausedBetween(m.at, end)
+		}
+		out = append(out, entry)
+	}
+	return out
 }
 
 // mttr computes recovery times: for each degrading step, the delay until
@@ -206,11 +260,26 @@ func (r *Report) Render() string {
 				m.At.Round(time.Millisecond), m.Step.Kind, m.MTTR.Round(time.Millisecond), state)
 		}
 	}
+	if len(r.Detect) > 0 {
+		b.WriteString("  detection (TTD = first degrading SLO signal after injection):\n")
+		for _, de := range r.Detect {
+			state := "detected"
+			if !de.Detected {
+				state = "NOT DETECTED"
+			}
+			fmt.Fprintf(&b, "    %8v  %-24s ttd=%-8v %-13s %s\n",
+				de.At.Round(time.Millisecond), de.Step.Kind, de.TTD.Round(time.Millisecond), state, de.Signal)
+		}
+	}
 	fmt.Fprintf(&b, "  unavailability: windows=%d total=%v\n",
 		len(r.Unavail), r.TotalUnavailability().Round(time.Millisecond))
 	for _, w := range r.Unavail {
 		fmt.Fprintf(&b, "    %8v .. %8v  (%v)\n",
 			w.From.Round(time.Millisecond), w.To.Round(time.Millisecond), w.Dur().Round(time.Millisecond))
+	}
+	if r.SLO != nil {
+		fmt.Fprintf(&b, "  slo: pages=%d tickets=%d firing-at-end=%d cluster=%s events=%d\n",
+			r.SLO.Pages(), r.SLO.Tickets(), r.SLO.Firing, r.SLO.Cluster, len(r.SLO.Events))
 	}
 	return b.String()
 }
@@ -227,6 +296,12 @@ type CampaignOptions struct {
 	Schedule Schedule
 	// Engine overrides the engine defaults.
 	Engine Config
+	// SLO enables the live SLO engine on the deployment and attaches it to
+	// the campaign: the report then carries time-to-detect per fault and
+	// the alert/health timeline. SLOSpec overrides the evaluated spec (zero
+	// value = slo.DefaultSpec).
+	SLO     bool
+	SLOSpec slo.Spec
 }
 
 // RunCampaign builds a fresh deployment, generates (or takes) a fault
@@ -275,6 +350,9 @@ func RunCampaign(seed int64, opts CampaignOptions) (*Report, error) {
 	eng, err := NewEngine(d, sched, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if opts.SLO {
+		eng.AttachSLO(d.EnableSLO(opts.SLOSpec))
 	}
 	rep, err := eng.Run()
 	if err != nil {

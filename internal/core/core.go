@@ -17,6 +17,7 @@ import (
 	"hopsfscl/internal/objstore"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
+	"hopsfscl/internal/slo"
 	"hopsfscl/internal/trace"
 	"hopsfscl/internal/workload"
 )
@@ -115,6 +116,10 @@ type Options struct {
 	// round trips and one 2PC chain per row instead of coalesced commit
 	// trains — the ablation isolating the batched write path.
 	DisableBatchedWrites bool
+	// DisableMetrics switches the registry to no-op mode before any handle
+	// is registered: instrumented hot paths get nil handles and pay a single
+	// nil check per update — the floor for measuring registry overhead.
+	DisableMetrics bool
 }
 
 // DefaultOptions returns the evaluation defaults for a setup.
@@ -158,10 +163,15 @@ type Deployment struct {
 	// Namespace is the seeded tree the workload generators share.
 	Namespace *workload.Namespace
 
+	// SLO is the live objective engine, nil until EnableSLO.
+	SLO *slo.Engine
+
 	hostSeq int
 	// flightStop asks the flight-recorder ticker to exit at its next tick
-	// (see EnableFlightRecorder / StopBackground).
+	// (see EnableFlightRecorder / StopBackground); sloStop does the same for
+	// the SLO evaluation ticker.
 	flightStop bool
+	sloStop    bool
 }
 
 // zoneSet returns the zones this deployment spans. Single-AZ deployments
@@ -191,6 +201,9 @@ func Build(opts Options) (*Deployment, error) {
 	env := sim.New(opts.Seed)
 	net := simnet.New(env, simnet.USWest1())
 	reg := trace.NewRegistry()
+	if opts.DisableMetrics {
+		reg.Disable()
+	}
 	net.SetRegistry(reg)
 	d := &Deployment{
 		Env: env, Net: net, Opts: opts, Setup: opts.Setup,
@@ -375,9 +388,69 @@ func (d *Deployment) EnableFlightRecorder(interval time.Duration, capacity int, 
 	return fr
 }
 
+// EnableSLO starts the live SLO engine: every finishing root operation
+// feeds the engine's windowed latency sketches (via the tracer's op
+// observer), the deployment's components register health probes (NN
+// thread-pool utilization, NDB liveness/contention, block
+// under-replication), and a background ticker evaluates the burn-rate
+// alerter and health model every spec.Tick of virtual time, publishing
+// rolling percentile/throughput gauges. Pass a zero slo.Spec for
+// DefaultSpec. The ticker is a background process — call StopBackground
+// before expecting Env.Run to quiesce.
+func (d *Deployment) EnableSLO(spec slo.Spec) *slo.Engine {
+	eng := slo.NewEngine(spec, d.Registry)
+	d.SLO = eng
+	d.Tracer.SetOpObserver(func(op string, end, latency time.Duration, failed bool) {
+		eng.ObserveOp(op, end, latency, failed)
+	})
+	if d.NS != nil {
+		ns := d.NS
+		eng.RegisterComponent("namenode", func(now time.Duration) slo.ComponentStats {
+			live, expected, util := ns.HealthStats(now)
+			return slo.ComponentStats{Live: live, Expected: expected, Quorum: 1, Util: util}
+		})
+	}
+	if d.DB != nil {
+		db := d.DB
+		eng.RegisterComponent("ndb", func(now time.Duration) slo.ComponentStats {
+			live, expected, groupLost, util, pressure := db.HealthStats(now)
+			st := slo.ComponentStats{
+				Live: live, Expected: expected, Quorum: expected/2 + 1,
+				Util: util, Pressure: pressure,
+			}
+			if groupLost {
+				// A node group with no surviving replica means lost
+				// partitions: the cluster cannot serve, however many other
+				// nodes are up.
+				st.Live = 0
+			}
+			return st
+		})
+	}
+	if d.Blocks != nil {
+		bm := d.Blocks
+		eng.RegisterComponent("blocks", func(time.Duration) slo.ComponentStats {
+			live, expected, under := bm.HealthStats()
+			return slo.ComponentStats{Live: live, Expected: expected, Quorum: 1, Pressure: float64(under)}
+		})
+	}
+	tick := eng.Spec().Tick
+	d.Env.Spawn("slo-engine", func(p *sim.Proc) {
+		for !d.sloStop {
+			p.Sleep(tick)
+			if d.sloStop {
+				return
+			}
+			eng.Tick(p.Now())
+		}
+	})
+	return eng
+}
+
 // StopBackground halts housekeeping processes so Env.Run can quiesce.
 func (d *Deployment) StopBackground() {
 	d.flightStop = true
+	d.sloStop = true
 	if d.DB != nil {
 		d.DB.StopBackground()
 	}

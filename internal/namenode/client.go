@@ -138,6 +138,9 @@ func (cl *Client) doSized(p *sim.Proc, op string, reqExtra int, fn func(nn *Name
 		p.SetSpan(prev)
 		if err != nil {
 			sp.SetError()
+			if IsOutcomeError(err) {
+				sp.SetBenign()
+			}
 		}
 		sp.Finish(p.EffNow())
 	}

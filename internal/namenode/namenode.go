@@ -45,6 +45,18 @@ var (
 	ErrCycle = errors.New("namenode: rename would create a cycle")
 )
 
+// IsOutcomeError reports whether err is an expected application outcome
+// (not-found, already-exists, namespace shape violations) rather than a
+// system failure. Outcome errors count in per-op error tallies but not
+// against the availability SLO: a correctly served "no such file" is the
+// file system working, not failing.
+func IsOutcomeError(err error) bool {
+	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrExists) ||
+		errors.Is(err, ErrNotDir) || errors.Is(err, ErrIsDir) ||
+		errors.Is(err, ErrNotEmpty) || errors.Is(err, ErrInvalidPath) ||
+		errors.Is(err, ErrCycle)
+}
+
 // RootID is the inode id of "/".
 const RootID uint64 = 1
 
@@ -240,6 +252,38 @@ func (ns *Namesystem) cacheSizeGauge(nn *NameNode) *trace.Gauge {
 // Tracer returns the attached tracer (nil when uninstrumented).
 func (ns *Namesystem) Tracer() *trace.Tracer { return ns.tracer }
 
+// HealthStats reports the metadata tier's health signal at virtual instant
+// now: live and expected NN counts, plus the mean CPU thread-pool
+// utilization across live NNs since the previous call (each call advances
+// the measurement window). When instrumented it also refreshes the per-NN
+// namenode.util{nn=...} gauges, so the flight recorder and SLO engine see
+// the same number.
+func (ns *Namesystem) HealthStats(now time.Duration) (live, expected int, util float64) {
+	expected = len(ns.nns)
+	var sum float64
+	var n int
+	for _, nn := range ns.nns {
+		u := 0.0
+		if now > nn.healthAt {
+			u = nn.cpu.Utilization(nn.healthAt, now, nn.healthBusy)
+		}
+		nn.healthAt = now
+		nn.healthBusy = nn.cpu.BusyIntegral()
+		if ns.obs != nil {
+			ns.obs.reg.Gauge("namenode.util", "nn", nn.Node.Name()).Set(u)
+		}
+		if nn.Alive() {
+			live++
+			sum += u
+			n++
+		}
+	}
+	if n > 0 {
+		util = sum / float64(n)
+	}
+	return live, expected, util
+}
+
 // NewNamesystem creates the metadata schema on db and seeds the root
 // directory. blockMgr may be nil if only metadata operations are exercised
 // (the paper's benchmarks use empty files for exactly this reason).
@@ -390,6 +434,11 @@ type NameNode struct {
 
 	// Ops counts operations served (per-NN throughput, Figure 6).
 	Ops int64
+
+	// healthAt/healthBusy snapshot the CPU busy integral at the last health
+	// probe, so HealthStats reports utilization over the probe interval.
+	healthAt   time.Duration
+	healthBusy int64
 }
 
 // ActiveNN is one entry of the leader's active-NN list, carrying the

@@ -277,6 +277,11 @@ type DataNode struct {
 	threads      [threadTypes]*sim.Resource
 	declaredDead bool
 
+	// healthAt/healthBusy snapshot the thread-pool busy integrals at the
+	// last health probe (see Cluster.HealthStats).
+	healthAt   time.Duration
+	healthBusy [threadTypes]int64
+
 	// redoPending accumulates bytes to be flushed at the next global
 	// checkpoint.
 	redoPending int64
@@ -362,6 +367,65 @@ func (dn *DataNode) Alive() bool { return dn.Node.Alive() && !dn.shutdown }
 
 // Threads exposes the node's thread pools for utilization accounting.
 func (dn *DataNode) Threads() [threadTypes]*sim.Resource { return dn.threads }
+
+// HealthStats reports the storage tier's health signal at virtual instant
+// now: datanodes that are live (up and not declared dead by arbitration)
+// vs expected, whether any node group has lost every replica (the cluster
+// cannot serve its partitions then, regardless of how many other nodes
+// survive), the mean thread-pool utilization across live nodes since the
+// previous call, and the contention pressure (the largest thread-pool
+// backlog on any live node). When instrumented it also refreshes the
+// per-DN ndb.util{dn=...} gauges and ndb.pressure.
+func (c *Cluster) HealthStats(now time.Duration) (live, expected int, groupLost bool, util, pressure float64) {
+	expected = len(c.datanodes)
+	var sum float64
+	var n int
+	for _, dn := range c.datanodes {
+		var nodeSum float64
+		for t := range dn.threads {
+			u := 0.0
+			if now > dn.healthAt {
+				u = dn.threads[t].Utilization(dn.healthAt, now, dn.healthBusy[t])
+			}
+			dn.healthBusy[t] = dn.threads[t].BusyIntegral()
+			nodeSum += u
+		}
+		nodeUtil := nodeSum / float64(threadTypes)
+		dn.healthAt = now
+		if c.obs != nil {
+			c.obs.reg.Gauge("ndb.util", "dn", dn.Node.Name()).Set(nodeUtil)
+		}
+		if !dn.Alive() || dn.declaredDead {
+			continue
+		}
+		live++
+		sum += nodeUtil
+		n++
+		for t := range dn.threads {
+			if q := float64(dn.threads[t].QueueLen()); q > pressure {
+				pressure = q
+			}
+		}
+	}
+	for _, g := range c.groups {
+		alive := 0
+		for _, dn := range g {
+			if dn.Alive() && !dn.declaredDead {
+				alive++
+			}
+		}
+		if alive == 0 {
+			groupLost = true
+		}
+	}
+	if n > 0 {
+		util = sum / float64(n)
+	}
+	if c.obs != nil {
+		c.obs.reg.Gauge("ndb.pressure").Set(pressure)
+	}
+	return live, expected, groupLost, util, pressure
+}
 
 // CreateTable registers a table. Every table in HopsFS-CL is created with
 // ReadBackup enabled (§IV-A5 end); baseline HopsFS deployments pass

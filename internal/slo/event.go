@@ -1,0 +1,85 @@
+package slo
+
+import (
+	"fmt"
+	"time"
+)
+
+// Severity ranks an event for routing: pages wake someone up, tickets wait
+// for morning, info is timeline context.
+type Severity uint8
+
+// Severities, least to most urgent.
+const (
+	SevInfo Severity = iota
+	SevTicket
+	SevPage
+)
+
+// String returns the log label of the severity.
+func (s Severity) String() string {
+	switch s {
+	case SevPage:
+		return "page"
+	case SevTicket:
+		return "ticket"
+	default:
+		return "info"
+	}
+}
+
+// EventKind classifies a timeline event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventAlertFire is a burn-rate alert starting to fire.
+	EventAlertFire EventKind = iota
+	// EventAlertResolve is a firing alert returning below threshold.
+	EventAlertResolve
+	// EventHealth is a component or cluster health state transition.
+	EventHealth
+)
+
+// String returns the log label of the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventAlertFire:
+		return "ALERT"
+	case EventAlertResolve:
+		return "RESOLVE"
+	case EventHealth:
+		return "HEALTH"
+	default:
+		return "?"
+	}
+}
+
+// Event is one line of the deterministic alert/health log.
+type Event struct {
+	// At is the virtual evaluation instant the event was emitted.
+	At       time.Duration
+	Kind     EventKind
+	Severity Severity
+	// Subject names what changed: an objective ("latency:stat:p99<10ms"),
+	// a burn pair suffix, or a health component ("ndb", "cluster").
+	Subject string
+	// Detail is the human-readable cause ("burn 22.1x/16.0x over 1s/8s").
+	Detail string
+	// Degrading marks events that represent things getting worse — alert
+	// fires and health transitions to a worse state. Detection latency is
+	// measured to the first degrading event after a fault.
+	Degrading bool
+}
+
+// String renders the event as one fixed-layout log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%10s  %-7s %-6s %-34s %s",
+		fmtDur(e.At), e.Kind, e.Severity, e.Subject, e.Detail)
+}
+
+// fmtDur renders a virtual instant with fixed millisecond precision
+// ("12.250s") so log columns align and renders are byte-stable.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}

@@ -1,0 +1,91 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDefaultSpecIsRunnable(t *testing.T) {
+	s := DefaultSpec()
+	if s.Window <= 0 || s.Slots <= 0 || s.Tick <= 0 {
+		t.Fatalf("default geometry not set: %+v", s)
+	}
+	if len(s.Latency) == 0 || len(s.Burns) == 0 {
+		t.Fatal("default spec has no objectives or burn pairs")
+	}
+	for _, p := range s.Burns {
+		if p.Short >= p.Long {
+			t.Fatalf("burn pair %q: short %v >= long %v", p.Name, p.Short, p.Long)
+		}
+		if p.Long > s.Window {
+			t.Fatalf("burn pair %q long window %v exceeds sketch window %v", p.Name, p.Long, s.Window)
+		}
+	}
+}
+
+func TestWithDefaultsFillsLatency(t *testing.T) {
+	// A zero spec takes the default latency objectives; an explicit empty
+	// (non-nil) list means "none" and is kept.
+	got := (Spec{}).withDefaults()
+	if len(got.Latency) != len(DefaultSpec().Latency) {
+		t.Fatalf("zero spec latency objectives = %d, want defaults", len(got.Latency))
+	}
+	none := (Spec{Latency: []LatencyObjective{}}).withDefaults()
+	if len(none.Latency) != 0 {
+		t.Fatalf("explicit empty latency list replaced with defaults: %+v", none.Latency)
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	orig := DefaultSpec()
+	again, err := ParseSpec(orig.Render())
+	if err != nil {
+		t.Fatalf("parse of rendered spec failed: %v", err)
+	}
+	if again.Render() != orig.Render() {
+		t.Fatalf("round trip changed the spec:\n%s\nvs\n%s", orig.Render(), again.Render())
+	}
+}
+
+func TestParseSpecOverrides(t *testing.T) {
+	spec, err := ParseSpec(`
+		# tuned spec
+		window 8s slots 32 tick 100ms
+		availability 99.5
+		latency stat p95 5ms
+		burn fast 500ms 2s 10x
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Window != 8*time.Second || spec.Slots != 32 || spec.Tick != 100*time.Millisecond {
+		t.Fatalf("geometry not applied: %+v", spec)
+	}
+	if spec.Availability != 0.995 {
+		t.Fatalf("availability = %v", spec.Availability)
+	}
+	if len(spec.Latency) != 1 || spec.Latency[0].Op != "stat" || spec.Latency[0].Quantile != 0.95 {
+		t.Fatalf("latency objectives = %+v", spec.Latency)
+	}
+	if len(spec.Burns) != 1 || spec.Burns[0].Rate != 10 || spec.Burns[0].Severity != SevPage {
+		t.Fatalf("burns = %+v", spec.Burns)
+	}
+}
+
+func TestParseSpecRejectsLongWindowBeyondSketch(t *testing.T) {
+	_, err := ParseSpec("window 4s\nburn slow 1s 8s 3x\n")
+	if err == nil || !strings.Contains(err.Error(), "exceeds sketch window") {
+		t.Fatalf("want long-window error, got %v", err)
+	}
+}
+
+func TestLatencyObjectiveName(t *testing.T) {
+	o := LatencyObjective{Op: "stat", Quantile: 0.99, Target: 10 * time.Millisecond}
+	if o.Name() != "latency:stat:p99<10ms" {
+		t.Fatalf("name = %q", o.Name())
+	}
+	if o.Budget() < 0.0099 || o.Budget() > 0.0101 {
+		t.Fatalf("budget = %v", o.Budget())
+	}
+}

@@ -85,25 +85,35 @@ func (f *FlightRecorder) Interval() time.Duration {
 }
 
 // Record captures one frame at the given virtual instant, evicting the
-// oldest frame when the ring is full.
+// oldest frame when the ring is full. The registry snapshot and the probe
+// callbacks run outside the recorder lock: probes may touch the registry
+// (or the recorder itself), and holding f.mu across an arbitrary callback
+// would deadlock on reentrancy and serialize registry writers against the
+// capture.
 func (f *FlightRecorder) Record(now time.Duration) {
 	if f == nil {
 		return
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	probes := append([]Probe(nil), f.probes...)
+	prefixes := append([]string(nil), f.prefixes...)
+	f.mu.Unlock()
+
 	all := f.reg.Snapshot()
-	samples := make([]Sample, 0, len(all)+len(f.probes))
+	samples := make([]Sample, 0, len(all)+len(probes))
 	for _, s := range all {
-		if f.keeps(s.Name) {
+		if keepsName(prefixes, s.Name) {
 			samples = append(samples, s)
 		}
 	}
-	for _, p := range f.probes {
+	for _, p := range probes {
 		samples = append(samples, Sample{Name: p.Name, Kind: KindGauge, Value: p.Fn()})
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
 	fr := Frame{At: now, Samples: samples}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if len(f.frames) < f.cap {
 		f.frames = append(f.frames, fr)
 		return
@@ -113,11 +123,11 @@ func (f *FlightRecorder) Record(now time.Duration) {
 	f.next = (f.next + 1) % f.cap
 }
 
-func (f *FlightRecorder) keeps(name string) bool {
-	if len(f.prefixes) == 0 {
+func keepsName(prefixes []string, name string) bool {
+	if len(prefixes) == 0 {
 		return true
 	}
-	for _, p := range f.prefixes {
+	for _, p := range prefixes {
 		if strings.HasPrefix(name, p) {
 			return true
 		}

@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -126,5 +128,73 @@ func TestSinkDropAccounting(t *testing.T) {
 	var nilSink *Sink
 	if nilSink.Dropped() != 0 {
 		t.Fatal("nil sink Dropped != 0")
+	}
+}
+
+// TestFlightRecorderReentrantProbe pins the lock discipline of Record:
+// probe callbacks run outside the recorder mutex, so a probe may call back
+// into the recorder (or trigger registry reads) without deadlocking. This
+// hung forever when Record held f.mu across the callbacks.
+func TestFlightRecorderReentrantProbe(t *testing.T) {
+	reg := NewRegistry()
+	fr := NewFlightRecorder(reg, 10*time.Millisecond, 4)
+	fr.AddProbe("meta.dropped", func() float64 { return float64(fr.Dropped()) })
+	fr.AddProbe("meta.frames", func() float64 { return float64(len(fr.Frames())) })
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ {
+			fr.Record(time.Duration(i) * 10 * time.Millisecond)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Record deadlocked on a reentrant probe")
+	}
+	if fr.Dropped() != 4 {
+		t.Fatalf("dropped = %d, want 4", fr.Dropped())
+	}
+}
+
+// TestFlightRecorderConcurrentRecord exercises Record against concurrent
+// registry writers and probe registration; run with -race this is the
+// regression test for the probe-snapshot data race.
+func TestFlightRecorderConcurrentRecord(t *testing.T) {
+	reg := NewRegistry()
+	ctr := reg.Counter("op.mixed.count")
+	fr := NewFlightRecorder(reg, time.Millisecond, 64)
+	fr.Keep("op.")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ctr.Add(1)
+				reg.Gauge("op.mixed.g").Set(1)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 32; i++ {
+			fr.AddProbe(fmt.Sprintf("probe.%d", i), func() float64 { return float64(fr.Dropped()) })
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		fr.Record(time.Duration(i) * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if len(fr.Frames()) == 0 {
+		t.Fatal("no frames recorded")
 	}
 }

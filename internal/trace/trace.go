@@ -60,6 +60,12 @@ type Span struct {
 	Start time.Duration
 	End   time.Duration
 	Err   bool
+	// Benign marks an error as an expected application outcome (a stat of
+	// an absent path, a create of an existing one). Benign errors still
+	// count in op.<name>.errors but are not availability failures: the
+	// operation observer reports them as successes, the way an HTTP SLO
+	// counts 5xx but not 4xx against the error budget.
+	Benign bool
 
 	Attrs    []Attr
 	Children []*Span
@@ -123,6 +129,15 @@ func (s *Span) SetError() {
 	s.root.Err = true
 }
 
+// SetBenign marks the operation's error as an expected application
+// outcome rather than a system failure (see Span.Benign).
+func (s *Span) SetBenign() {
+	if s == nil {
+		return
+	}
+	s.root.Benign = true
+}
+
 // RecordHop attributes one network message of the given wire time to the
 // span's operation. The root accumulates regardless of mode; the active
 // child also accumulates in detailed mode, so flame output and the
@@ -180,6 +195,9 @@ func (s *Span) Finish(now time.Duration) {
 	if s.Err {
 		st.errs.Add(1)
 	}
+	if obs := t.obs.Load(); obs != nil {
+		(*obs)(s.Name, s.End, s.End-s.Start, s.Err && !s.Benign)
+	}
 	for c := HopClass(0); c < NumHopClasses; c++ {
 		if s.HopBytes[c] != 0 {
 			st.hopBytes[c].Add(s.HopBytes[c])
@@ -207,9 +225,31 @@ type opStats struct {
 type Tracer struct {
 	reg  *Registry
 	sink atomic.Pointer[Sink]
+	obs  atomic.Pointer[OpObserver]
 	seq  atomic.Uint64
 	mu   sync.Mutex // guards ops
 	ops  map[string]*opStats
+}
+
+// OpObserver receives every finished root operation: op name, the virtual
+// end instant, end-to-end latency, and whether the operation failed.
+// Benign errors (expected application outcomes, see Span.SetBenign)
+// report failed=false. The SLO engine uses this to feed its windowed
+// sketches without the tracer depending on it.
+type OpObserver func(op string, end, latency time.Duration, failed bool)
+
+// SetOpObserver installs (or, with nil, removes) the tracer's operation
+// observer. When unset, finishing a span costs one atomic load beyond the
+// existing aggregate flush. The observer must be safe for concurrent calls.
+func (t *Tracer) SetOpObserver(obs OpObserver) {
+	if t == nil {
+		return
+	}
+	if obs == nil {
+		t.obs.Store(nil)
+		return
+	}
+	t.obs.Store(&obs)
 }
 
 // NewTracer returns a tracer feeding aggregates into reg (which may be nil
