@@ -9,17 +9,21 @@
 //	hopsbench all
 //
 // Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 pathdepth writefan failures chaos ablations phases. "chaos"
-// runs the seeded random fault-campaign sweep (deterministic per seed) with
-// cross-layer invariant auditing; "failures" runs the §V-F scripted drills
-// on the same engine; "pathdepth" measures stat latency vs path depth with
-// optimistic batched resolution against the serial per-component walk;
-// "writefan" measures multi-row write-transaction latency and wire
-// footprint against rows per transaction, with the batched write path and
-// node-group-coalesced commit trains (ndb.batch_write.* and
-// ndb.commit.trains / ndb.commit.rows_per_train counters) against the
-// serial one-chain-per-row protocol, including a where-the-time-went
-// critical-path table per point.
+// fig13 fig14 pathdepth writefan failures chaos autoscale ablations
+// phases. "chaos" runs the seeded random fault-campaign sweep
+// (deterministic per seed) with cross-layer invariant auditing; "failures"
+// runs the §V-F scripted drills on the same engine; "pathdepth" measures
+// stat latency vs path depth with optimistic batched resolution against
+// the serial per-component walk; "writefan" measures multi-row
+// write-transaction latency and wire footprint against rows per
+// transaction, with the batched write path and node-group-coalesced commit
+// trains (ndb.batch_write.* and ndb.commit.trains /
+// ndb.commit.rows_per_train counters) against the serial one-chain-per-row
+// protocol, including a where-the-time-went critical-path table per point;
+// "autoscale" drives a compressed diurnal week against the elastic
+// metadata tier (online commission/drain under the autoscale controller,
+// audited at every transition) and against static-min and static-peak
+// provisioning, checking the acceptance inequalities inline.
 //
 // Flags:
 //
@@ -27,9 +31,10 @@
 //	-seed N   simulation seed (default 1)
 //	-clients N  closed-loop clients per metadata server (default 64)
 //	-json FILE  write every measured grid cell (setup x server count:
-//	            throughput, latency percentiles, CPU, cross-zone rate) as a
-//	            deterministic JSON report — the machine-readable companion
-//	            to the text tables (see BENCH_6.json for the recorded run)
+//	            throughput, latency percentiles, CPU, cross-zone rate) plus
+//	            per-point SLO summaries and the autoscale mode comparison as
+//	            a deterministic JSON report — the machine-readable companion
+//	            to the text tables (see BENCH_7.json for the recorded run)
 package main
 
 import (
@@ -73,7 +78,7 @@ func run(args []string) error {
 			ids = append(ids, e.ID)
 		}
 	}
-	opts := bench.ExpOptions{Full: *full, Seed: *seed, ClientsPerServer: *clients}
+	opts := bench.ExpOptions{Full: *full, Seed: *seed, ClientsPerServer: *clients, SLO: *jsonOut != ""}
 	for _, id := range ids {
 		exp, ok := bench.ExperimentByID(id)
 		if !ok {

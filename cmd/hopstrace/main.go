@@ -30,6 +30,15 @@
 //	    the selected metrics (per-AZ link traffic, lock waits, op rates)
 //	    over virtual time.
 //
+//	hopstrace autoscale [-seed S] [-profile file] [-out file]
+//	    Run the elastic metadata tier under a shaped diurnal load: paced
+//	    clients follow the load profile (see internal/loadshape; -profile
+//	    reads a declarative profile file, default loadshape.DefaultProfile
+//	    over a compressed week) while the autoscale controller commissions
+//	    and drains namenodes against the live SLO gauges. Prints the
+//	    scale-event log and run summary; -out writes the flight-recorder
+//	    timeline (offered load, serving servers, rolling p99) as CSV.
+//
 //	hopstrace slo [-setup name] [-seed S] [-spec file] [-schedule file] [-faults N] [-len D] [-out file]
 //	    Run a seeded chaos campaign with the live SLO engine attached and
 //	    render the alert/health timeline: burn-rate alerts
@@ -57,9 +66,11 @@ import (
 	"strings"
 	"time"
 
+	"hopsfscl/internal/autoscale"
 	"hopsfscl/internal/bench"
 	"hopsfscl/internal/chaos"
 	"hopsfscl/internal/core"
+	"hopsfscl/internal/loadshape"
 	"hopsfscl/internal/metrics"
 	"hopsfscl/internal/profile"
 	"hopsfscl/internal/sim"
@@ -77,7 +88,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: hopstrace gen|replay|profile|timeline|slo [flags]")
+		return fmt.Errorf("usage: hopstrace gen|replay|profile|timeline|autoscale|slo [flags]")
 	}
 	switch args[0] {
 	case "gen":
@@ -88,10 +99,12 @@ func run(args []string, stdout io.Writer) error {
 		return runProfile(args[1:], stdout)
 	case "timeline":
 		return runTimeline(args[1:], stdout)
+	case "autoscale":
+		return runAutoscale(args[1:], stdout)
 	case "slo":
 		return runSLO(args[1:], stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want gen, replay, profile, timeline or slo)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want gen, replay, profile, timeline, autoscale or slo)", args[0])
 	}
 }
 
@@ -414,6 +427,56 @@ func runTimeline(args []string, stdout io.Writer) error {
 	}
 	if *out != "" {
 		fmt.Fprintf(stdout, "wrote %d frames to %s\n", len(fr.Frames()), *out)
+	}
+	return nil
+}
+
+func runAutoscale(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("autoscale", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	profFile := fs.String("profile", "", "load-profile file (default: the built-in compressed week)")
+	out := fs.String("out", "", "write the flight-recorder timeline CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := bench.DefaultElasticOptions(*seed)
+	if *profFile != "" {
+		text, err := os.ReadFile(*profFile)
+		if err != nil {
+			return err
+		}
+		prof, err := loadshape.Parse(string(text))
+		if err != nil {
+			return err
+		}
+		o.Profile = prof
+	}
+	r, err := bench.RunElastic(bench.ModeElastic, o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "elastic run over %d virtual days (%v each), %d paced clients, seed %d\n",
+		o.Profile.Days, o.Profile.Day, o.Clients, *seed)
+	fmt.Fprintf(stdout, "ops %d  errors %d  serving %d..%d  time>SLO %v (%.1f%%)  NN-seconds %.1f\n",
+		r.Ops, r.Errors, r.MinServing, r.MaxServing,
+		r.OverSLO.Round(time.Millisecond), r.OverSLOFraction()*100, r.NNSeconds)
+	fmt.Fprintf(stdout, "audit checkpoints %d  violations %d  failed quiesces %d\n",
+		r.Checkpoints, len(r.Violations), r.FailedQuiesces)
+	for _, v := range r.Violations {
+		fmt.Fprintf(stdout, "  VIOLATION %s\n", v)
+	}
+	fmt.Fprintf(stdout, "\nscale events (%d up, %d down):\n%s",
+		r.ScaleUps, r.ScaleDowns, autoscale.RenderEvents(r.Events))
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.Recorder.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nwrote %d timeline frames to %s\n", len(r.Recorder.Frames()), *out)
 	}
 	return nil
 }

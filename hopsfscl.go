@@ -493,6 +493,39 @@ func joinPath(dir, name string) string {
 // and unavailability windows. Render formats it deterministically.
 type ChaosReport = chaos.Report
 
+// ServingNameNodes reports how many metadata servers currently accept new
+// operations (draining servers no longer count). Zero for CephFS clusters,
+// which have no elastic tier.
+func (c *Cluster) ServingNameNodes() int { return c.d.ServingNNs() }
+
+// ScaleUp commissions n additional metadata servers online, placed in the
+// zones with the fewest serving servers. The tier is stateless (§II-A2), so
+// new servers serve as soon as they join the election; clients re-spread
+// over the grown set at their next operation.
+func (c *Cluster) ScaleUp(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("hopsfscl: ScaleUp(%d)", n)
+	}
+	c.d.AddNameNodes(n)
+	c.d.Env.RunFor(500 * time.Millisecond) // join the election, start serving
+	return nil
+}
+
+// ScaleDown gracefully drains n metadata servers (youngest first, never
+// below one serving server) and waits for their in-flight operations to
+// finish before decommissioning them. Returns how many servers actually
+// left the tier.
+func (c *Cluster) ScaleDown(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	victims := c.d.DrainNameNodes(n)
+	for i := 0; i < 100 && c.d.FinishDrains() > 0; i++ {
+		c.d.Env.RunFor(10 * time.Millisecond)
+	}
+	return len(victims)
+}
+
 // RunChaos executes a declarative fault schedule against this cluster
 // under the chaos engine: an audited workload runs on virtual time while
 // the schedule injects AZ failures, partitions, node crashes, and link

@@ -166,10 +166,10 @@ func TestSetupsAndExperimentsListed(t *testing.T) {
 		t.Fatalf("setups = %d, want 9", got)
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 18 {
-		t.Fatalf("experiments = %d, want 18", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("experiments = %d, want 19", len(ids))
 	}
-	want := map[string]bool{"table1": true, "table2": true, "fig5": true, "fig14": true, "failures": true, "chaos": true, "phases": true, "writefan": true}
+	want := map[string]bool{"table1": true, "table2": true, "fig5": true, "fig14": true, "failures": true, "chaos": true, "phases": true, "writefan": true, "autoscale": true}
 	for _, id := range ids {
 		delete(want, id)
 	}
@@ -309,5 +309,42 @@ func TestRunChaosScheduleOnFacade(t *testing.T) {
 
 	if _, err := c.RunChaos("at 1s fail-zone 9\n", 1); err == nil {
 		t.Fatal("schedule with a bogus zone accepted")
+	}
+}
+
+func TestElasticScaleOnFacade(t *testing.T) {
+	c := newCluster(t)
+	base := c.ServingNameNodes()
+	if base == 0 {
+		t.Fatal("no serving metadata servers")
+	}
+	if err := c.ScaleUp(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ServingNameNodes(); got != base+2 {
+		t.Fatalf("serving after ScaleUp(2) = %d, want %d", got, base+2)
+	}
+	// The grown tier serves traffic.
+	if err := c.Client(1).MkdirAll("/elastic/up"); err != nil {
+		t.Fatalf("cluster unusable after scale-up: %v", err)
+	}
+	if gone := c.ScaleDown(2); gone != 2 {
+		t.Fatalf("ScaleDown(2) drained %d servers", gone)
+	}
+	if got := c.ServingNameNodes(); got != base {
+		t.Fatalf("serving after ScaleDown(2) = %d, want %d", got, base)
+	}
+	if err := c.Client(1).MkdirAll("/elastic/down"); err != nil {
+		t.Fatalf("cluster unusable after scale-down: %v", err)
+	}
+	// Bad arguments are rejected; the tier never drains to zero.
+	if err := c.ScaleUp(0); err == nil {
+		t.Fatal("ScaleUp(0) accepted")
+	}
+	if gone := c.ScaleDown(100); gone >= base {
+		t.Fatalf("ScaleDown(100) removed %d of %d — tier drained too far", gone, base)
+	}
+	if c.ServingNameNodes() < 1 {
+		t.Fatal("no serving servers left")
 	}
 }

@@ -30,6 +30,10 @@ type ExpOptions struct {
 	// The testing.B benchmarks use this to run each figure at reduced
 	// scale.
 	Counts []int
+	// SLO enables the live SLO engine on every sweep measurement, embedding
+	// an alert/health summary into the recorded grid points (hopsbench sets
+	// it whenever -json is given, so BENCH_*.json catches SLO regressions).
+	SLO bool
 }
 
 // DefaultExpOptions returns quick-run options.
@@ -87,6 +91,7 @@ var Experiments = []Experiment{
 	{ID: "chaos", Title: "Chaos: seeded random fault campaigns with invariant auditing", Run: Chaos},
 	{ID: "ablations", Title: "Design-choice ablations: Read Backup, batching, block backend", Run: Ablations},
 	{ID: "phases", Title: "Trace registry: 2PC phase latency and cross-AZ bytes per operation", Run: Phases},
+	{ID: "autoscale", Title: "Elastic tier: autoscaled NNs vs static provisioning under diurnal load", Run: Autoscale},
 }
 
 // ExperimentByID finds an experiment.
@@ -131,6 +136,7 @@ func sweep(o ExpOptions, setups []core.Setup, counts []int) (map[string]map[int]
 func runConfigFor(o ExpOptions) RunConfig {
 	cfg := DefaultRunConfig()
 	cfg.Seed = o.Seed
+	cfg.SLO = o.SLO
 	if o.Full {
 		cfg.Window = 300 * time.Millisecond
 	}

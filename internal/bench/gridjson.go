@@ -31,6 +31,25 @@ type GridPoint struct {
 	ServerCPU     float64 `json:"server_cpu"`
 	StorageCPU    float64 `json:"storage_cpu"`
 	CrossZoneRate float64 `json:"cross_zone_rate"`
+
+	// SLO is the live SLO engine's window summary (runs with -json enable
+	// the engine so regressions show up as fired alerts in the report).
+	SLO *SLOPointSummary `json:"slo,omitempty"`
+}
+
+// SLOPointSummary is the machine-readable SLO outcome of one grid cell.
+type SLOPointSummary struct {
+	// Pages and Tickets count alerts fired during the window; Firing is how
+	// many were still firing at window end.
+	Pages   int `json:"pages"`
+	Tickets int `json:"tickets"`
+	Firing  int `json:"firing"`
+	// Cluster is the closing health level ("healthy", "degraded", ...).
+	Cluster string `json:"cluster"`
+	// FirstDegradedMs is the time from window start to the first degrading
+	// event (detection latency when the window contains a regression);
+	// negative when nothing degraded.
+	FirstDegradedMs float64 `json:"first_degraded_ms"`
 }
 
 // GridReport is the top-level document WriteGridJSON emits.
@@ -40,6 +59,8 @@ type GridReport struct {
 	// Experiments lists the experiment ids whose sweeps fed the grid.
 	Experiments []string    `json:"experiments"`
 	Points      []GridPoint `json:"points"`
+	// Autoscale carries the elastic experiment's summary when it ran.
+	Autoscale *AutoscaleReport `json:"autoscale,omitempty"`
 }
 
 // recordedPoints accumulates every distinct grid cell measured by sweep()
@@ -48,6 +69,23 @@ var recordedPoints []GridPoint
 
 func recordPoint(setup string, servers int, o ExpOptions, cfg RunConfig, res *Result) {
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	var sloSum *SLOPointSummary
+	if rep := res.SLOReport; rep != nil {
+		sloSum = &SLOPointSummary{
+			Pages:           rep.Pages(),
+			Tickets:         rep.Tickets(),
+			Firing:          rep.Firing,
+			Cluster:         rep.Cluster.String(),
+			FirstDegradedMs: -1,
+		}
+		windowStart := rep.End - res.Window
+		for _, e := range rep.Events {
+			if e.Degrading {
+				sloSum.FirstDegradedMs = ms(e.At - windowStart)
+				break
+			}
+		}
+	}
 	recordedPoints = append(recordedPoints, GridPoint{
 		Setup:            setup,
 		Servers:          servers,
@@ -64,7 +102,73 @@ func recordPoint(setup string, servers int, o ExpOptions, cfg RunConfig, res *Re
 		ServerCPU:        res.ServerCPU,
 		StorageCPU:       res.StorageCPU,
 		CrossZoneRate:    res.CrossZoneRate,
+		SLO:              sloSum,
 	})
+}
+
+// AutoscaleModeReport is one elastic-experiment mode in the JSON report.
+type AutoscaleModeReport struct {
+	Mode        string   `json:"mode"`
+	MinServers  int      `json:"min_servers"`
+	MaxServers  int      `json:"max_servers"`
+	Ops         int64    `json:"ops"`
+	Errors      int64    `json:"errors"`
+	SpanMs      float64  `json:"span_ms"`
+	OverSLOMs   float64  `json:"over_slo_ms"`
+	NNSeconds   float64  `json:"nn_seconds"`
+	ScaleUps    int      `json:"scale_ups"`
+	ScaleDowns  int      `json:"scale_downs"`
+	Checkpoints int      `json:"audit_checkpoints"`
+	Violations  int      `json:"audit_violations"`
+	Events      []string `json:"events,omitempty"`
+}
+
+// AutoscaleReport is the elastic experiment's section of the JSON report.
+type AutoscaleReport struct {
+	Seed        int64                 `json:"seed"`
+	Clients     int                   `json:"clients"`
+	Days        int                   `json:"days"`
+	DayMs       float64               `json:"day_ms"`
+	TargetP99Ms float64               `json:"target_p99_ms"`
+	Modes       []AutoscaleModeReport `json:"modes"`
+}
+
+var recordedAutoscale *AutoscaleReport
+
+func recordAutoscale(eo ElasticOptions, results map[ElasticMode]*ElasticResult) {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	rep := &AutoscaleReport{
+		Seed:        eo.Seed,
+		Clients:     eo.Clients,
+		Days:        eo.Profile.Days,
+		DayMs:       ms(eo.Profile.Day),
+		TargetP99Ms: ms(eo.Controller.TargetP99),
+	}
+	for _, m := range []ElasticMode{ModeElastic, ModeStaticMin, ModeStaticPeak} {
+		r, ok := results[m]
+		if !ok {
+			continue
+		}
+		mr := AutoscaleModeReport{
+			Mode:        m.String(),
+			MinServers:  r.MinServing,
+			MaxServers:  r.MaxServing,
+			Ops:         r.Ops,
+			Errors:      r.Errors,
+			SpanMs:      ms(r.Span),
+			OverSLOMs:   ms(r.OverSLO),
+			NNSeconds:   r.NNSeconds,
+			ScaleUps:    r.ScaleUps,
+			ScaleDowns:  r.ScaleDowns,
+			Checkpoints: r.Checkpoints,
+			Violations:  len(r.Violations),
+		}
+		for _, e := range r.Events {
+			mr.Events = append(mr.Events, e.String())
+		}
+		rep.Modes = append(rep.Modes, mr)
+	}
+	recordedAutoscale = rep
 }
 
 // WriteGridJSON writes the grid cells measured so far as an indented JSON
@@ -77,7 +181,7 @@ func WriteGridJSON(path, command string, experiments []string) error {
 		}
 		return pts[i].Servers < pts[j].Servers
 	})
-	rep := GridReport{Command: command, Experiments: experiments, Points: pts}
+	rep := GridReport{Command: command, Experiments: experiments, Points: pts, Autoscale: recordedAutoscale}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

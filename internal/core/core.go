@@ -120,6 +120,15 @@ type Options struct {
 	// is registered: instrumented hot paths get nil handles and pay a single
 	// nil check per update — the floor for measuring registry overhead.
 	DisableMetrics bool
+	// NNCores, NNOpBase, and NNElectionRound override the metadata-server
+	// sizing (zero keeps namenode.DefaultConfig). The elastic experiments
+	// use them to shrink per-NN capacity — the paper's 32-vCPU servers never
+	// saturate under the benchmark client counts, so autoscaling on real
+	// utilization needs smaller servers — and to speed elections up so
+	// commissioned servers join the active list within a compressed day.
+	NNCores         int
+	NNOpBase        time.Duration
+	NNElectionRound time.Duration
 }
 
 // DefaultOptions returns the evaluation defaults for a setup.
@@ -293,6 +302,15 @@ func (d *Deployment) buildHops() error {
 	// Figure 14 ablation explicitly disables it.
 	nnCfg.ReadBackup = aware && !opts.DisableReadBackup
 	nnCfg.DisableBatchedResolve = opts.DisableBatchedResolve
+	if opts.NNCores > 0 {
+		nnCfg.NNCores = opts.NNCores
+	}
+	if opts.NNOpBase > 0 {
+		nnCfg.Costs.OpBase = opts.NNOpBase
+	}
+	if opts.NNElectionRound > 0 {
+		nnCfg.ElectionRound = opts.NNElectionRound
+	}
 	ns := namenode.NewNamesystem(db, d.Blocks, nnCfg)
 	ns.SetTracer(d.Tracer)
 	d.NS = ns

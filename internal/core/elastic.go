@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sort"
+
+	"hopsfscl/internal/namenode"
+	"hopsfscl/internal/simnet"
+)
+
+// Elastic metadata tier: the serving layer is stateless (§II-A2), so a
+// deployment can add and drain namenodes while the workload runs. These
+// methods are the actuators an autoscale controller drives; the lifecycle
+// itself lives in the namenode package (Commission / Drain / Decommission).
+
+// ServingNNs returns how many metadata servers currently accept new
+// operations (zero for CephFS deployments, which have no elastic tier).
+func (d *Deployment) ServingNNs() int {
+	if d.NS == nil {
+		return 0
+	}
+	return d.NS.ServingCount()
+}
+
+// AddNameNodes commissions n new metadata servers on the live deployment,
+// each in the zone with the fewest serving servers (ties to the lower zone
+// id), matching how an operator restores AZ balance. Clients re-spread over
+// the grown set at their next operation.
+func (d *Deployment) AddNameNodes(n int) []*namenode.NameNode {
+	if d.NS == nil || n <= 0 {
+		return nil
+	}
+	aware := d.Setup.System == HopsFSCL
+	zones := d.Opts.zoneSet()
+	var added []*namenode.NameNode
+	for i := 0; i < n; i++ {
+		counts := make(map[simnet.ZoneID]int, len(zones))
+		for _, nn := range d.NS.ServingNameNodes() {
+			counts[nn.Node.Zone()]++
+		}
+		best := zones[0]
+		for _, z := range zones[1:] {
+			if counts[z] < counts[best] {
+				best = z
+			}
+		}
+		domain := simnet.ZoneUnset
+		if aware {
+			domain = best
+		}
+		added = append(added, d.NS.Commission(best, d.nextHost(), domain))
+	}
+	return added
+}
+
+// DrainNameNodes starts a graceful drain of n serving metadata servers,
+// youngest (highest id) first — scale-down releases the servers scale-up
+// commissioned. It never drains below one serving server. The drained
+// servers keep finishing in-flight operations; complete the exit with
+// FinishDrains.
+func (d *Deployment) DrainNameNodes(n int) []*namenode.NameNode {
+	if d.NS == nil || n <= 0 {
+		return nil
+	}
+	serving := d.NS.ServingNameNodes()
+	sort.Slice(serving, func(i, j int) bool { return serving[i].ID > serving[j].ID })
+	if n > len(serving)-1 {
+		n = len(serving) - 1
+	}
+	var drained []*namenode.NameNode
+	for i := 0; i < n; i++ {
+		serving[i].Drain()
+		drained = append(drained, serving[i])
+	}
+	return drained
+}
+
+// FinishDrains decommissions every draining server whose in-flight count
+// has reached zero and returns how many are still draining. Callers poll it
+// between simulation steps until it returns zero.
+func (d *Deployment) FinishDrains() int {
+	if d.NS == nil {
+		return 0
+	}
+	pending := 0
+	for _, nn := range d.NS.NameNodes() {
+		if !nn.Draining() {
+			continue
+		}
+		if nn.InFlight() > 0 {
+			pending++
+			continue
+		}
+		if err := nn.Decommission(); err != nil {
+			pending++
+		}
+	}
+	return pending
+}

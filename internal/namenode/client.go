@@ -27,6 +27,11 @@ type Client struct {
 
 	nn *NameNode
 
+	// epoch is the re-balance epoch the sticky choice was made under; when
+	// the serving set changes (Commission / Drain) the namesystem bumps its
+	// epoch and every client re-picks lazily at its next operation.
+	epoch int
+
 	// Ops and LatencySum feed the benchmark harness.
 	Ops        int64
 	LatencySum time.Duration
@@ -53,19 +58,26 @@ func (cl *Client) CurrentNameNode() *NameNode { return cl.nn }
 
 // pick selects (or keeps) the client's metadata server.
 func (cl *Client) pick(p *sim.Proc) (*NameNode, error) {
-	if cl.nn != nil && cl.nn.Alive() {
+	if cl.nn != nil && cl.nn.Serving() && cl.epoch == cl.ns.balanceEpoch {
 		return cl.nn, nil
 	}
+	cl.epoch = cl.ns.balanceEpoch
 	leader := cl.ns.ElectedLeader()
 	if leader == nil {
 		return nil, ErrNoNameNodes
 	}
-	// Fetch the active-NN list from the leader.
+	// Fetch the active-NN list from the leader. Serving it is an in-memory
+	// read of the cached election view, so it is billed per entry rather
+	// than as a full metadata operation: when a Commission or Drain bumps
+	// the balance epoch, every client re-picks at its next call, and at
+	// full-op cost that stampede would queue behind real work on the
+	// leader's cores and show up as a latency spike the autoscaler then
+	// chases.
 	if !cl.travel(p, cl.Node, leader.Node, rpcReqSize) {
 		return nil, ErrNoNameNodes
 	}
-	leader.charge(p, 0)
 	active := leader.ActiveNameNodes()
+	leader.chargeList(p, len(active))
 	if !cl.travel(p, leader.Node, cl.Node, rpcRespSize+16*len(active)) {
 		return nil, ErrNoNameNodes
 	}
@@ -82,7 +94,7 @@ func (cl *Client) pick(p *sim.Proc) (*NameNode, error) {
 			continue
 		}
 		nn := cl.ns.nns[a.ID-1]
-		if !nn.Alive() {
+		if !nn.Serving() {
 			continue
 		}
 		all = append(all, nn)
@@ -99,7 +111,7 @@ func (cl *Client) pick(p *sim.Proc) (*NameNode, error) {
 		// fall back to the statically configured set, like a real client
 		// falling back to its configured namenode list.
 		for _, nn := range cl.ns.nns {
-			if nn.Alive() {
+			if nn.Serving() {
 				pool = append(pool, nn)
 			}
 		}
@@ -159,7 +171,9 @@ func (cl *Client) rpc(p *sim.Proc, reqExtra int, fn func(nn *NameNode) (int, err
 			cl.nn = nil
 			continue
 		}
+		nn.inflight++
 		respExtra, err := fn(nn)
+		nn.inflight--
 		if !cl.travel(p, nn.Node, cl.Node, rpcRespSize+respExtra) {
 			cl.nn = nil
 			continue

@@ -31,7 +31,9 @@ func (nn *NameNode) electionLoop(p *sim.Proc) {
 	// spread converges the initial view quickly.
 	p.Sleep(time.Duration(p.Rand().Int63n(int64(nn.ns.cfg.ElectionRound / 4))))
 	for !nn.ns.bgStop {
-		if !nn.Alive() {
+		if !nn.Alive() || nn.draining {
+			// A draining server stops heartbeating so its election row
+			// expires and peers drop it from the active list.
 			return
 		}
 		nn.electionRound(p)

@@ -178,6 +178,11 @@ type Namesystem struct {
 	idSeq  uint64
 	bgStop bool
 
+	// balanceEpoch forces clients to re-pick their server when the serving
+	// set changes (Commission/Drain bump it); clients re-balance lazily at
+	// their next operation.
+	balanceEpoch int
+
 	// tracer and obs attach the namesystem to a deployment's trace layer;
 	// both are nil for uninstrumented deployments.
 	tracer *trace.Tracer
@@ -259,10 +264,16 @@ func (ns *Namesystem) Tracer() *trace.Tracer { return ns.tracer }
 // namenode.util{nn=...} gauges, so the flight recorder and SLO engine see
 // the same number.
 func (ns *Namesystem) HealthStats(now time.Duration) (live, expected int, util float64) {
-	expected = len(ns.nns)
 	var sum float64
 	var n int
 	for _, nn := range ns.nns {
+		if nn.draining || nn.decom {
+			// Drained servers left the serving target on purpose: they are
+			// neither expected nor live, so scaling down does not read as
+			// degradation.
+			continue
+		}
+		expected++
 		u := 0.0
 		if now > nn.healthAt {
 			u = nn.cpu.Utilization(nn.healthAt, now, nn.healthBusy)
@@ -432,6 +443,14 @@ type NameNode struct {
 	stopped   bool
 	lastRound time.Duration
 
+	// Elastic lifecycle state (see elastic.go): a draining NN finishes its
+	// in-flight operations but accepts no new ones; a decommissioned NN has
+	// left the cluster for good. inflight counts operations currently
+	// executing on this server (cooperative scheduling; no atomics needed).
+	draining bool
+	decom    bool
+	inflight int
+
 	// Ops counts operations served (per-NN throughput, Figure 6).
 	Ops int64
 
@@ -479,8 +498,9 @@ func (nn *NameNode) Fail() { nn.stopped = true; nn.Node.Fail() }
 
 // Recover restarts a failed metadata server: it is stateless, so recovery
 // is simply rejoining the network and resuming leader-election rounds.
+// Decommissioned servers have left the cluster and do not come back.
 func (nn *NameNode) Recover() {
-	if nn.Alive() {
+	if nn.Alive() || nn.decom {
 		return
 	}
 	nn.stopped = false
@@ -527,6 +547,16 @@ func inodeKey(parent uint64, name string) string {
 func (nn *NameNode) charge(p *sim.Proc, depth int) {
 	c := nn.ns.cfg.Costs
 	nn.cpu.UseDeferred(p, c.OpBase+time.Duration(depth)*c.PerComponent)
+}
+
+// chargeList bills the leader for serving the cached active-server list to
+// a client: a per-entry in-memory read, far cheaper than a metadata op.
+func (nn *NameNode) chargeList(p *sim.Proc, entries int) {
+	if entries <= 0 {
+		return
+	}
+	c := nn.ns.cfg.Costs
+	nn.cpu.UseDeferred(p, time.Duration(entries)*c.PerListEntry)
 }
 
 // retriable reports whether a transaction error warrants a retry: lock

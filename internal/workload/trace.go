@@ -157,11 +157,20 @@ func ReadTrace(rd io.Reader) ([]TraceOp, error) {
 			return nil, fmt.Errorf("workload: trace line %d: missing path", line)
 		}
 		t := TraceOp{Op: op, Path: fields[1]}
+		want := 2
 		if op == OpRename {
 			if len(fields) < 3 {
 				return nil, fmt.Errorf("workload: trace line %d: rename needs a destination", line)
 			}
 			t.Dst = fields[2]
+			want = 3
+		}
+		if len(fields) > want {
+			// A trailing field is a malformed line (typically a path with an
+			// unescaped space); dropping it silently would replay a different
+			// operation than the one recorded.
+			return nil, fmt.Errorf("workload: trace line %d: %d unexpected trailing field(s) after %q",
+				line, len(fields)-want, fields[want-1])
 		}
 		out = append(out, t)
 	}

@@ -80,6 +80,12 @@ func TestReadTraceRejectsGarbage(t *testing.T) {
 		"fly /a",
 		"mkdir",
 		"rename /a",
+		// Trailing fields are malformed lines (unescaped spaces in a path),
+		// not noise to drop: the replay would diverge from the recording.
+		"stat /a extra",
+		"mkdir /a /b",
+		"rename /a /b /c",
+		"delete /path with spaces",
 	}
 	for _, c := range cases {
 		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
@@ -90,5 +96,38 @@ func TestReadTraceRejectsGarbage(t *testing.T) {
 	got, err := ReadTrace(strings.NewReader("# header\n\nmkdir /a\n"))
 	if err != nil || len(got) != 1 {
 		t.Fatalf("comment handling: %v %v", got, err)
+	}
+}
+
+func TestReadTraceEdgeCases(t *testing.T) {
+	// Blank lines, indentation, comments, and a rename with both endpoints —
+	// the whole accepted grammar in one document.
+	doc := "\n\n  # generated\n  mkdir /a  \n\ncreateFile /a/f\nrename /a/f /a/g\n# trailing comment\n"
+	got, err := ReadTrace(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TraceOp{
+		{Op: OpMkdir, Path: "/a"},
+		{Op: OpCreate, Path: "/a/f"},
+		{Op: OpRename, Path: "/a/f", Dst: "/a/g"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d ops, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("op %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Error messages carry the 1-based physical line number, counting
+	// blanks and comments.
+	_, err = ReadTrace(strings.NewReader("mkdir /a\n\n# c\nrename /x\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("line number missing or wrong: %v", err)
+	}
+	// An empty document is an empty trace, not an error.
+	if ops, err := ReadTrace(strings.NewReader("")); err != nil || len(ops) != 0 {
+		t.Errorf("empty input: %v %v", ops, err)
 	}
 }
