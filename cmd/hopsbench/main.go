@@ -10,7 +10,7 @@
 //
 // Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 fig14 pathdepth writefan failures chaos autoscale ablations
-// phases. "chaos" runs the seeded random fault-campaign sweep
+// phases kernel. "chaos" runs the seeded random fault-campaign sweep
 // (deterministic per seed) with cross-layer invariant auditing; "failures"
 // runs the §V-F scripted drills on the same engine; "pathdepth" measures
 // stat latency vs path depth with optimistic batched resolution against
@@ -23,7 +23,12 @@
 // "autoscale" drives a compressed diurnal week against the elastic
 // metadata tier (online commission/drain under the autoscale controller,
 // audited at every transition) and against static-min and static-peak
-// provisioning, checking the acceptance inequalities inline.
+// provisioning, checking the acceptance inequalities inline; "kernel" is
+// the bench of the bench — it measures the simulation engine itself
+// (per-primitive wall cost and steady-state allocations, plus the engine
+// overhead of one full grid point in wall-ns per virtual millisecond and
+// allocations per virtual op), the numbers whose regression gate lives in
+// the CI kernel job and whose trajectory is recorded in BENCH_8.json.
 //
 // Flags:
 //

@@ -1,0 +1,54 @@
+//go:build !race
+
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"hopsfscl/internal/core"
+)
+
+// TestGridPointAllocCeiling pins the kernel-overhaul acceptance criterion
+// as a test: a full grid point (the shape every sweep experiment measures)
+// must stay at least 2x below the pre-overhaul kernel's 164 heap
+// allocations per served virtual operation. The recorded trajectory lives
+// in BENCH_8.json; the post-overhaul kernel measures ~54, so the 82
+// ceiling leaves headroom for legitimate feature work while catching a
+// lost pool or a reintroduced per-event allocation. Excluded under -race,
+// whose instrumentation allocates.
+func TestGridPointAllocCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid point drives a full deployment")
+	}
+	setup, ok := core.SetupByName("HopsFS-CL (3,3)")
+	if !ok {
+		t.Fatal("setup not found")
+	}
+	opts := core.DefaultOptions(setup)
+	opts.MetadataServers = 12
+	opts.ClientsPerServer = 32
+	opts.Seed = 1
+	d, err := core.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	cfg := DefaultRunConfig()
+	cfg.Window = 150 * time.Millisecond
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	res := Run(d, cfg)
+	runtime.ReadMemStats(&m1)
+	if res.Ops == 0 {
+		t.Fatal("grid point served no operations")
+	}
+	perVop := float64(m1.Mallocs-m0.Mallocs) / float64(res.Ops)
+	if perVop > 82 {
+		t.Fatalf("grid point allocates %.1f objects per virtual op, ceiling 82 "+
+			"(pre-overhaul kernel: 164, post-overhaul: ~54 — see BENCH_8.json)", perVop)
+	}
+	t.Logf("grid point: %.1f allocs per virtual op (ceiling 82)", perVop)
+}

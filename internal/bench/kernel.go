@@ -1,0 +1,197 @@
+package bench
+
+// Kernel is the bench of the bench as a hopsbench experiment: instead of
+// measuring the simulated system, it measures the simulation engine — the
+// wall cost of the kernel primitives every experiment is built from, and
+// the engine cost of one full grid point (the deployment shape every sweep
+// measures). CI runs the same numbers as testing.B benchmarks
+// (internal/sim, internal/simnet, internal/bench) with in-test allocation
+// ceilings; this experiment renders them as a table so a human can see
+// where the engine budget goes. BENCH_8.json records the before/after
+// trajectory of the kernel overhaul these numbers gate.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"hopsfscl/internal/core"
+	"hopsfscl/internal/metrics"
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/simnet"
+)
+
+// measureEngine runs fn(ops) once to warm the kernel's pools, then again
+// under the clock and allocation counters. It reports wall nanoseconds and
+// heap mallocs per operation. This is deliberately the same protocol as the
+// alloc-ceiling tests: steady state, pools warm.
+func measureEngine(ops int, fn func(ops int)) (nsPerOp, allocsPerOp float64) {
+	fn(ops / 4)
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	fn(ops)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return float64(wall.Nanoseconds()) / float64(ops),
+		float64(m1.Mallocs-m0.Mallocs) / float64(ops)
+}
+
+// Kernel reports the simulation engine's own cost model: per-primitive
+// wall time and steady-state allocations, then the engine cost of a full
+// grid point in wall-ns per virtual millisecond and heap allocations per
+// served virtual operation.
+func Kernel(o ExpOptions) (string, error) {
+	ops := 20000
+	if o.Full {
+		ops = 100000
+	}
+	tbl := metrics.NewTable("primitive", "ns/op", "allocs/op")
+	row := func(name string, ns, allocs float64) {
+		tbl.AddRow(name, fmt.Sprintf("%.0f", ns), fmt.Sprintf("%.2f", allocs))
+	}
+
+	{ // Timer wheel: schedule + fire + context switch.
+		env := sim.New(o.Seed)
+		ns, al := measureEngine(ops, func(n int) {
+			env.Spawn("sleeper", func(p *sim.Proc) {
+				for i := 0; i < n; i++ {
+					p.Sleep(time.Microsecond)
+				}
+			})
+			env.Run()
+		})
+		env.Close()
+		row("sleep/wake", ns, al)
+	}
+
+	{ // Mailbox rendezvous: two sends, two receives, two switches per op.
+		env := sim.New(o.Seed)
+		ping := sim.NewMailbox[int](env)
+		pong := sim.NewMailbox[int](env)
+		ns, al := measureEngine(ops, func(n int) {
+			env.Spawn("a", func(p *sim.Proc) {
+				for i := 0; i < n; i++ {
+					ping.Send(i)
+					pong.Recv(p)
+				}
+			})
+			env.Spawn("b", func(p *sim.Proc) {
+				for i := 0; i < n; i++ {
+					pong.Send(ping.Recv(p))
+				}
+			})
+			env.Run()
+		})
+		env.Close()
+		row("mailbox ping-pong", ns, al)
+	}
+
+	{ // Satisfied timeout: the eager timer-cancellation path.
+		env := sim.New(o.Seed)
+		mb := sim.NewMailbox[int](env)
+		ns, al := measureEngine(ops, func(n int) {
+			env.Spawn("w", func(p *sim.Proc) {
+				for i := 0; i < n; i++ {
+					env.After(time.Microsecond, func() { mb.Send(1) })
+					mb.RecvTimeout(p, time.Hour)
+				}
+			})
+			env.Run()
+		})
+		env.Close()
+		row("RecvTimeout (satisfied)", ns, al)
+	}
+
+	{ // Expired timeout: the eager waiter-removal path.
+		env := sim.New(o.Seed)
+		mb := sim.NewMailbox[int](env)
+		ns, al := measureEngine(ops, func(n int) {
+			env.Spawn("w", func(p *sim.Proc) {
+				for i := 0; i < n; i++ {
+					mb.RecvTimeout(p, time.Microsecond)
+				}
+			})
+			env.Run()
+		})
+		env.Close()
+		row("RecvTimeout (expired)", ns, al)
+	}
+
+	{ // Network datagram: the pooled-envelope fast path, paid twice per RPC.
+		env := sim.New(o.Seed)
+		net := simnet.New(env, simnet.USWest1())
+		a := net.NewNode("a", 1, 1)
+		c := net.NewNode("c", 2, 2)
+		ns, al := measureEngine(ops, func(n int) {
+			env.Spawn("drain", func(p *sim.Proc) {
+				for i := 0; i < n; i++ {
+					a.Inbox.Recv(p)
+				}
+			})
+			env.Spawn("send", func(p *sim.Proc) {
+				for i := 0; i < n; i++ {
+					net.Send(c, a, 256, nil)
+					p.Sleep(10 * time.Microsecond)
+				}
+			})
+			env.Run()
+		})
+		env.Close()
+		row("network send", ns, al)
+	}
+
+	var b strings.Builder
+	b.WriteString("Kernel primitive cost, steady state (wall ns and heap allocations per op)\n")
+	b.WriteString(tbl.String())
+
+	// One full grid point: the engine cost behind every sweep measurement.
+	servers, clients := 12, 32
+	if len(o.Counts) > 0 {
+		servers = o.Counts[len(o.Counts)-1]
+	}
+	if o.ClientsPerServer > 0 {
+		clients = o.ClientsPerServer
+	}
+	setup, ok := core.SetupByName("HopsFS-CL (3,3)")
+	if !ok {
+		return "", fmt.Errorf("setup not found")
+	}
+	opts := core.DefaultOptions(setup)
+	opts.MetadataServers = servers
+	opts.ClientsPerServer = clients
+	opts.Seed = o.Seed
+	d, err := core.Build(opts)
+	if err != nil {
+		return "", err
+	}
+	cfg := DefaultRunConfig()
+	cfg.Seed = o.Seed
+	cfg.Window = 150 * time.Millisecond
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	res := Run(d, cfg)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	virtual := d.Env.Now()
+	d.Close()
+	if res.Ops == 0 {
+		return "", fmt.Errorf("grid point served no operations")
+	}
+	vms := float64(virtual) / float64(time.Millisecond)
+	fmt.Fprintf(&b, "\nGrid point engine cost — %s, %d metadata servers, %d clients/server:\n",
+		setup.Name, servers, opts.ClientsPerServer)
+	gp := metrics.NewTable("metric", "value")
+	gp.AddRow("wall time", fmt.Sprintf("%.2fs", wall.Seconds()))
+	gp.AddRow("virtual time simulated", fmt.Sprintf("%.0fms", vms))
+	gp.AddRow("wall ns per virtual ms", fmt.Sprintf("%.0f", float64(wall.Nanoseconds())/vms))
+	gp.AddRow("heap allocs per virtual op", fmt.Sprintf("%.1f", float64(m1.Mallocs-m0.Mallocs)/float64(res.Ops)))
+	gp.AddRow("virtual ops per wall second", fmt.Sprintf("%.0f", float64(res.Ops)/wall.Seconds()))
+	b.WriteString(gp.String())
+	b.WriteString("recorded trajectory: BENCH_8.json (pre- vs post-overhaul kernel)\n")
+	return b.String(), nil
+}

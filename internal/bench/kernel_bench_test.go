@@ -1,0 +1,54 @@
+package bench
+
+// BenchmarkGridPoint is the bench of the bench: it runs one full grid point
+// (the deployment shape every sweep experiment measures) and reports how
+// expensive the *engine* was, not the simulated system — wall nanoseconds
+// per virtual millisecond, heap allocations per served virtual operation,
+// and virtual ops per wall second. CI tracks these so a kernel regression
+// shows up as a number, not as a mysteriously slower smoke job.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"hopsfscl/internal/core"
+)
+
+func BenchmarkGridPoint(b *testing.B) {
+	setup, ok := core.SetupByName("HopsFS-CL (3,3)")
+	if !ok {
+		b.Fatal("setup not found")
+	}
+	var m0, m1 runtime.MemStats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		opts := core.DefaultOptions(setup)
+		opts.MetadataServers = 12
+		opts.ClientsPerServer = 32
+		opts.Seed = 1
+		d, err := core.Build(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := DefaultRunConfig()
+		cfg.Window = 150 * time.Millisecond
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		b.StartTimer()
+		res := Run(d, cfg)
+		b.StopTimer()
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		virtual := d.Env.Now()
+		d.Close()
+		if res.Ops == 0 {
+			b.Fatal("grid point served no operations")
+		}
+		vms := float64(virtual) / float64(time.Millisecond)
+		b.ReportMetric(float64(wall.Nanoseconds())/vms, "ns/vms")
+		b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(res.Ops), "allocs/vop")
+		b.ReportMetric(float64(res.Ops)/wall.Seconds(), "vops/wall-s")
+	}
+}

@@ -118,10 +118,16 @@ func (nn *NameNode) resolveChain(tx *ndb.Txn, comps []string) ([]*Inode, error) 
 func (nn *NameNode) tryBatchResolve(tx *ndb.Txn, comps []string) ([]*Inode, bool, error) {
 	obs := nn.ns.obs
 	// ids[i] is the cached inode id of the prefix comps[:i]; ids[0] is "/".
+	// The prefix paths are built incrementally in one byte buffer probed
+	// with byte-keyed lookups: the whole chain costs one buffer, not one
+	// joined string per level.
 	ids := make([]uint64, 1, len(comps)+1)
 	ids[0] = RootID
+	pbuf := make([]byte, 0, 96)
 	for i := 1; i <= len(comps); i++ {
-		id, ok := nn.cache.get("/" + strings.Join(comps[:i], "/"))
+		pbuf = append(pbuf, '/')
+		pbuf = append(pbuf, comps[i-1]...)
+		id, ok := nn.cache.getBytes(pbuf)
 		if !ok {
 			break
 		}
@@ -151,7 +157,10 @@ func (nn *NameNode) tryBatchResolve(tx *ndb.Txn, comps []string) ([]*Inode, bool
 	}
 	chain := make([]*Inode, 1, len(comps)+1)
 	chain[0] = rootInode
+	pbuf = pbuf[:0]
 	for i := 0; i < rows; i++ {
+		pbuf = append(pbuf, '/')
+		pbuf = append(pbuf, comps[i]...)
 		if !vals[i].OK {
 			// Every link above row i verified, so the parent id used to
 			// key this row was the committed one: the row's absence is the
@@ -178,7 +187,7 @@ func (nn *NameNode) tryBatchResolve(tx *ndb.Txn, comps []string) ([]*Inode, bool
 			tx.Annotate("op.batched", strconv.Itoa(rows))
 			return nil, true, ErrNotDir
 		}
-		nn.cache.put("/"+strings.Join(comps[:i+1], "/"), ino.ID)
+		nn.cache.putBytes(pbuf, ino.ID)
 		chain = append(chain, ino)
 	}
 	obs.hit()
@@ -195,6 +204,12 @@ func (nn *NameNode) tryBatchResolve(tx *ndb.Txn, comps []string) ([]*Inode, bool
 // round trip. It refreshes the hint cache as it goes.
 func (nn *NameNode) walkFrom(tx *ndb.Txn, chain []*Inode, comps []string) ([]*Inode, error) {
 	cur := chain[len(chain)-1]
+	// One buffer carries the growing prefix path for the cache refreshes.
+	pbuf := make([]byte, 0, 96)
+	for j := 0; j < len(chain)-1; j++ {
+		pbuf = append(pbuf, '/')
+		pbuf = append(pbuf, comps[j]...)
+	}
 	for i := len(chain) - 1; i < len(comps); i++ {
 		if !cur.Dir {
 			return nil, ErrNotDir
@@ -203,7 +218,9 @@ func (nn *NameNode) walkFrom(tx *ndb.Txn, chain []*Inode, comps []string) ([]*In
 		if err != nil {
 			return nil, err
 		}
-		nn.cache.put("/"+strings.Join(comps[:i+1], "/"), child.ID)
+		pbuf = append(pbuf, '/')
+		pbuf = append(pbuf, comps[i]...)
+		nn.cache.putBytes(pbuf, child.ID)
 		chain = append(chain, child)
 		cur = child
 	}

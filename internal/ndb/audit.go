@@ -20,8 +20,14 @@ func (c *Cluster) Tables() []*Table {
 }
 
 // Replicas returns the alive replica datanodes for the partition, primary
-// first (the same view the transaction coordinator uses).
-func (p *Partition) Replicas() []*DataNode { return p.replicas() }
+// first (the same view the transaction coordinator uses). The result is a
+// copy; the internal list is memoized per topology epoch.
+func (p *Partition) Replicas() []*DataNode {
+	reps := p.replicas()
+	out := make([]*DataNode, len(reps))
+	copy(out, reps)
+	return out
+}
 
 // ForEachCommitted calls fn for every committed row of the table, in
 // sorted (partition key, row key) order.

@@ -45,10 +45,11 @@ const batchRowOverhead = 24
 
 // batchGroup is the per-target slice of a batch: the rows (indices into the
 // caller's request slice) served by one datanode, plus the §IV-A4 proximity
-// of that datanode to the TC.
+// of that datanode to the TC. rows is groupByTarget's counting scratch.
 type batchGroup struct {
 	target *DataNode
 	prox   int
+	rows   int
 	idx    []int
 }
 
@@ -93,24 +94,59 @@ func (t *Txn) routeRow(table *Table, partKey string) (*DataNode, int, *Partition
 
 // groupByTarget routes every row and groups the row indices by target
 // datanode, preserving first-appearance order for determinism. route is
-// called once per row index.
-func groupByTarget(n int, route func(i int) (*DataNode, bool)) ([]*batchGroup, bool) {
-	var groups []*batchGroup
-	byTarget := make(map[*DataNode]*batchGroup)
+// called once per row index. Batches are small (a path's worth of rows over
+// a handful of targets), so groups are found by linear scan and the index
+// lists are carved out of one shared array — no per-batch map, no per-group
+// slice growth.
+func groupByTarget(sc *batchScratch, n int, route func(i int) (*DataNode, bool)) ([]*batchGroup, bool) {
+	if cap(sc.targets) < n {
+		sc.targets = make([]*DataNode, n)
+	}
+	targets := sc.targets[:n]
 	for i := 0; i < n; i++ {
 		target, ok := route(i)
 		if !ok {
 			return nil, false
 		}
-		g := byTarget[target]
+		targets[i] = target
+	}
+	// backing is pre-sized so appends never reallocate: pointers handed out
+	// in groups stay valid.
+	if cap(sc.backing) < n {
+		sc.backing = make([]batchGroup, 0, n)
+		sc.groups = make([]*batchGroup, 0, n)
+		sc.buf = make([]int, 0, n)
+	}
+	backing := sc.backing[:0]
+	groups := sc.groups[:0]
+	for _, target := range targets {
+		g := findGroup(groups, target)
 		if g == nil {
-			g = &batchGroup{target: target}
-			byTarget[target] = g
+			backing = append(backing, batchGroup{target: target})
+			g = &backing[len(backing)-1]
 			groups = append(groups, g)
 		}
+		g.rows++
+	}
+	buf := sc.buf[:0]
+	for _, g := range groups {
+		g.idx = buf[len(buf) : len(buf) : len(buf)+g.rows]
+		buf = buf[:len(buf)+g.rows]
+	}
+	for i, target := range targets {
+		g := findGroup(groups, target)
 		g.idx = append(g.idx, i)
 	}
 	return groups, true
+}
+
+func findGroup(groups []*batchGroup, target *DataNode) *batchGroup {
+	for _, g := range groups {
+		if g.target == target {
+			return g
+		}
+	}
+	return nil
 }
 
 // ReadBatch reads the committed values of all rows in one batched fan-out,
@@ -132,9 +168,11 @@ func (t *Txn) ReadBatch(gets []BatchGet) ([]BatchVal, error) {
 	// TCKEYREQ is a single TC job, not one per row).
 	t.tc.use(t.p, TC, cfg.Costs.TCOp)
 
-	slots := make([]int, len(gets))
-	parts := make([]*Partition, len(gets))
-	groups, ok := groupByTarget(len(gets), func(i int) (*DataNode, bool) {
+	sc := t.c.getScratch()
+	defer t.c.putScratch(sc)
+	slots := sc.intsFor(len(gets))
+	parts := sc.partsFor(len(gets))
+	groups, ok := groupByTarget(sc, len(gets), func(i int) (*DataNode, bool) {
 		target, slot, part := t.routeRow(gets[i].Table, gets[i].PartKey)
 		slots[i], parts[i] = slot, part
 		return target, target != nil
@@ -194,9 +232,11 @@ func (t *Txn) ScanBatch(scans []BatchScan) ([][]KV, error) {
 	cfg := &t.c.cfg
 	t.tc.use(t.p, TC, cfg.Costs.TCOp)
 
-	slots := make([]int, len(scans))
-	parts := make([]*Partition, len(scans))
-	groups, ok := groupByTarget(len(scans), func(i int) (*DataNode, bool) {
+	sc := t.c.getScratch()
+	defer t.c.putScratch(sc)
+	slots := sc.intsFor(len(scans))
+	parts := sc.partsFor(len(scans))
+	groups, ok := groupByTarget(sc, len(scans), func(i int) (*DataNode, bool) {
 		target, slot, part := t.routeRow(scans[i].Table, scans[i].PartKey)
 		slots[i], parts[i] = slot, part
 		return target, target != nil
@@ -279,23 +319,19 @@ func (t *Txn) runBatch(kind string, groups []*batchGroup, rows int, serve func(p
 	if len(groups) == 1 {
 		return serve(t.p, groups[0])
 	}
-	// Concurrent deferred travel: each remote group is a sub-process
+	// Concurrent deferred travel: each remote group is a pooled worker arm
 	// starting from the transaction's current effective instant, so the
-	// batch's latency is the slowest group, not the sum.
+	// batch's latency is the slowest group, not the sum. The serve closure
+	// is shared across arms and the results mailbox is pooled, so the
+	// fan-out itself allocates nothing.
 	t.p.Flush()
 	fanSpan := sp
 	if fanSpan == nil {
 		fanSpan = t.p.Span()
 	}
-	results := sim.NewMailbox[bool](t.c.env)
+	results := t.c.getBoolMbx()
 	for _, g := range groups {
-		g := g
-		t.c.env.Spawn("batch-"+kind, func(p *sim.Proc) {
-			p.SetSpan(fanSpan)
-			ok := serve(p, g)
-			p.Flush()
-			results.Send(ok)
-		})
+		t.c.dispatch(fanTask{span: fanSpan, g: g, serve: serve, boolResults: results})
 	}
 	allOK := true
 	for range groups {
@@ -303,6 +339,7 @@ func (t *Txn) runBatch(kind string, groups []*batchGroup, rows int, serve func(p
 			allOK = false
 		}
 	}
+	t.c.putBoolMbx(results)
 	return allOK
 }
 

@@ -127,6 +127,21 @@ type Cluster struct {
 	// wait-for edge.
 	ledger    *ContentionLedger
 	activeOps map[uint64]string
+
+	// Fan-out worker pool and result-mailbox free-lists (workers.go): the
+	// steady-state batch/commit fan-out path allocates no processes and no
+	// mailboxes.
+	freeWorkers []*fanWorker
+	freeBoolMbx []*sim.Mailbox[bool]
+	freeErrMbx  []*sim.Mailbox[error]
+	freeScratch []*batchScratch
+
+	// topoEpoch counts cluster-side replica-topology changes (shutdown
+	// orders, primary promotions); combined with the network's node
+	// up/down epoch it validates Partition.repCache. Starts at 1 so the
+	// combined epoch is never zero (a Partition's zero repEpoch is always
+	// invalid).
+	topoEpoch uint64
 }
 
 // 2PC phase indices for clusterObs.phase; names match the registry
@@ -320,6 +335,7 @@ func New(env *sim.Env, net *simnet.Network, cfg Config, dataPlacement, mgmtPlace
 		cfg:        cfg,
 		tables:     make(map[string]*Table),
 		arbGranted: make(map[int]int),
+		topoEpoch:  1,
 	}
 	numGroups := cfg.DataNodes / cfg.Replication
 	c.groups = make([][]*DataNode, numGroups)

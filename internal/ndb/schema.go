@@ -73,6 +73,12 @@ type Partition struct {
 	// reads counts served reads per replica slot (0 = current primary's
 	// slot at read time) — the Figure 14 measurement.
 	reads []int64
+
+	// repCache memoizes replicas() for the topology epoch repEpoch: the
+	// alive-replica list only changes when a node fails, recovers, is shut
+	// down, or the primary is promoted, all of which bump an epoch.
+	repCache []*DataNode
+	repEpoch uint64
 }
 
 // Index returns the partition's index within its table.
@@ -93,8 +99,19 @@ func (p *Partition) ReadCounts() []int64 {
 // current primary first, then backups in group order. For fully replicated
 // tables the partition is additionally present on all other groups; those
 // copies are resolved by the routing code, not listed here.
+//
+// The list is memoized per topology epoch — it is recomputed only after a
+// node liveness or primary change, not per row routed. Callers must treat
+// the returned slice as read-only.
 func (p *Partition) replicas() []*DataNode {
-	group := p.table.c.groups[p.group]
+	c := p.table.c
+	epoch := c.topoEpoch + c.net.TopoEpoch()
+	if p.repCache != nil && p.repEpoch == epoch {
+		return p.repCache
+	}
+	group := c.groups[p.group]
+	// Rebuilds allocate fresh: an in-flight operation may still hold the
+	// previous epoch's slice across a park.
 	out := make([]*DataNode, 0, len(group))
 	for i := 0; i < len(group); i++ {
 		dn := group[(p.primary+i)%len(group)]
@@ -102,6 +119,7 @@ func (p *Partition) replicas() []*DataNode {
 			out = append(out, dn)
 		}
 	}
+	p.repCache, p.repEpoch = out, epoch
 	return out
 }
 
@@ -116,6 +134,7 @@ func (p *Partition) promoteFrom(failed *DataNode) {
 		cand := (p.primary + i) % len(group)
 		if group[cand].Alive() {
 			p.primary = cand
+			p.table.c.topoEpoch++
 			return
 		}
 	}

@@ -483,7 +483,7 @@ func (t *Txn) Commit() error {
 			obs.trainRows.Observe(time.Duration(len(ws)))
 		}
 	}
-	results := sim.NewMailbox[error](t.c.env)
+	results := t.c.getErrMbx()
 	single := len(trains) == 1
 	if !single {
 		// Trains commit in parallel; sub-processes must start from the
@@ -505,14 +505,12 @@ func (t *Txn) Commit() error {
 			results.Send(err)
 			continue
 		}
-		// Sub-processes inherit the transaction's span so their network
-		// hops and phase timings stay attributed to the operation.
-		sp := t.p.Span()
-		t.c.env.Spawn("commit-train", func(p *sim.Proc) {
-			p.SetSpan(sp)
-			err := t.commitTrain(p, ws, readBackupFor(ws[0]), false)
-			p.Flush()
-			results.Send(err)
+		// Worker arms inherit the transaction's span so their network hops
+		// and phase timings stay attributed to the operation.
+		t.c.dispatch(fanTask{
+			span:       t.p.Span(),
+			errRun:     func(p *sim.Proc) error { return t.commitTrain(p, ws, readBackupFor(ws[0]), false) },
+			errResults: results,
 		})
 	}
 	var firstErr error
@@ -521,6 +519,7 @@ func (t *Txn) Commit() error {
 			firstErr = err
 		}
 	}
+	t.c.putErrMbx(results)
 	if firstErr != nil {
 		// Atomic abort: with multi-train commits the staged writes were not
 		// applied (applyNow=false above), so a failure in any train —
@@ -741,9 +740,9 @@ func (t *Txn) commitTrain(p *sim.Proc, ws []*writeOp, readBackup, applyNow bool)
 		return nil
 	}
 	beginPhase(phaseComplete)
-	donec := sim.NewMailbox[bool](t.c.env)
-	// The Complete fan-out runs as sub-processes; synchronize them with
-	// the parent's effective instant first.
+	donec := t.c.getBoolMbx()
+	// The Complete fan-out runs as pooled worker arms; synchronize them
+	// with the parent's effective instant first.
 	p.Flush()
 	// Capture the span the fan-out should charge: the complete-phase span
 	// when detailed, else the transaction's span.
@@ -754,17 +753,19 @@ func (t *Txn) commitTrain(p *sim.Proc, ws []*writeOp, readBackup, applyNow bool)
 	for _, dn := range backups {
 		dn := dn
 		t.tc.send(p)
-		t.c.env.Spawn("complete", func(cp *sim.Proc) {
-			cp.SetSpan(fanSpan)
-			ok := t.c.net.TravelDeferred(cp, t.tc.Node, dn.Node, ackSize, cfg.RPCTimeout)
-			if ok {
-				dn.recv(cp)
-				dn.use(cp, LDM, cfg.Costs.LDMCommit)
-				dn.send(cp)
-				ok = t.c.net.TravelDeferred(cp, dn.Node, t.tc.Node, ackSize, cfg.RPCTimeout)
-			}
-			cp.Flush()
-			donec.Send(ok)
+		t.c.dispatch(fanTask{
+			span: fanSpan,
+			boolRun: func(cp *sim.Proc) bool {
+				ok := t.c.net.TravelDeferred(cp, t.tc.Node, dn.Node, ackSize, cfg.RPCTimeout)
+				if ok {
+					dn.recv(cp)
+					dn.use(cp, LDM, cfg.Costs.LDMCommit)
+					dn.send(cp)
+					ok = t.c.net.TravelDeferred(cp, dn.Node, t.tc.Node, ackSize, cfg.RPCTimeout)
+				}
+				return ok
+			},
+			boolResults: donec,
 		})
 	}
 	allOK := true
@@ -773,6 +774,7 @@ func (t *Txn) commitTrain(p *sim.Proc, ws []*writeOp, readBackup, applyNow bool)
 			allOK = false
 		}
 	}
+	t.c.putBoolMbx(donec)
 	t.tc.recv(p)
 	if !allOK {
 		return ErrNodeUnavailable
@@ -785,7 +787,10 @@ func (t *Txn) commitTrain(p *sim.Proc, ws []*writeOp, readBackup, applyNow bool)
 // owning group's replicas first (primary at the head), then one primary per
 // other node group.
 func (t *Txn) fullChain(part *Partition) []*DataNode {
-	chain := part.replicas()
+	reps := part.replicas()
+	// Copy: replicas() is memoized and must not be appended to.
+	chain := make([]*DataNode, len(reps), len(reps)+len(t.c.groups)-1)
+	copy(chain, reps)
 	for g := range t.c.groups {
 		if g == part.group {
 			continue

@@ -1,0 +1,197 @@
+package ndb
+
+import (
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/trace"
+)
+
+// This file implements the cluster's fan-out worker pool. Batched reads,
+// commit trains, and Complete acks all fan out as concurrent sub-processes;
+// spawning a fresh process per fan-out arm was the simulator's largest
+// steady-state allocation source (a Proc, a resume channel, a goroutine
+// stack, and a closure per arm). The pool keeps a free-list of long-lived
+// worker processes parked on per-worker task mailboxes and dispatches work
+// by Send.
+//
+// Determinism: dispatch is schedule-equivalent to Spawn. Spawn pushes the
+// new process onto the ready ring at the call instant and consumes no event
+// sequence number; Send to a parked worker does exactly the same (readyProc
+// appends at the identical ready position), and a Send that has to spawn a
+// fresh worker queues the task and pushes the new process at that same
+// position, where its first Recv picks the task up without parking. Either
+// way the arm starts at the instant and ready-order the old per-arm Spawn
+// gave it, so virtual-time schedules — and hence RNG streams and golden
+// outputs — are unchanged.
+type fanTask struct {
+	// span is the trace span the arm's work is attributed to (nil when the
+	// operation is untraced).
+	span *trace.Span
+
+	// Batch fan-out: serve one routed group, reporting success. The serve
+	// closure is shared by every group of a batch, so a k-group fan-out
+	// allocates nothing per arm.
+	g     *batchGroup
+	serve func(p *sim.Proc, g *batchGroup) bool
+
+	// Generic bool fan-out (Complete acks): one closure per arm.
+	boolRun func(p *sim.Proc) bool
+
+	// Commit-train fan-out: one closure per train.
+	errRun func(p *sim.Proc) error
+
+	// Exactly one of boolResults/errResults is set and receives the arm's
+	// outcome after its deferred delay has been flushed.
+	boolResults *sim.Mailbox[bool]
+	errResults  *sim.Mailbox[error]
+}
+
+// fanWorker is one pooled worker process, addressed by its task mailbox.
+type fanWorker struct {
+	tasks *sim.Mailbox[fanTask]
+}
+
+// dispatch hands task to an idle pooled worker, spawning one only when the
+// pool is empty (LIFO reuse keeps the pool at the high-water mark of
+// concurrent arms).
+func (c *Cluster) dispatch(task fanTask) {
+	var w *fanWorker
+	if n := len(c.freeWorkers); n > 0 {
+		w = c.freeWorkers[n-1]
+		c.freeWorkers[n-1] = nil
+		c.freeWorkers = c.freeWorkers[:n-1]
+	} else {
+		w = c.newWorker()
+	}
+	w.tasks.Send(task)
+}
+
+func (c *Cluster) newWorker() *fanWorker {
+	w := &fanWorker{tasks: sim.NewMailbox[fanTask](c.env)}
+	c.env.Spawn("ndb-fan", func(p *sim.Proc) {
+		for {
+			// A worker re-enters the free list only after finishing a task,
+			// so a busy worker is never dispatched to; its queue holds at
+			// most the one task a fresh spawn was created for.
+			task := w.tasks.Recv(p)
+			p.SetSpan(task.span)
+			var ok bool
+			var err error
+			switch {
+			case task.errResults != nil:
+				err = task.errRun(p)
+			case task.g != nil:
+				ok = task.serve(p, task.g)
+			default:
+				ok = task.boolRun(p)
+			}
+			p.Flush()
+			// Drop the span before parking so a pooled worker does not pin
+			// a finished operation's trace memory.
+			p.SetSpan(nil)
+			if task.errResults != nil {
+				task.errResults.Send(err)
+			} else {
+				task.boolResults.Send(ok)
+			}
+			c.freeWorkers = append(c.freeWorkers, w)
+		}
+	})
+	return w
+}
+
+// Result-mailbox pools. A fan-out's collector drains exactly as many
+// results as it dispatched arms before returning the mailbox, so a pooled
+// mailbox is always empty (and waiter-free) when reused.
+
+func (c *Cluster) getBoolMbx() *sim.Mailbox[bool] {
+	if n := len(c.freeBoolMbx); n > 0 {
+		m := c.freeBoolMbx[n-1]
+		c.freeBoolMbx[n-1] = nil
+		c.freeBoolMbx = c.freeBoolMbx[:n-1]
+		return m
+	}
+	return sim.NewMailbox[bool](c.env)
+}
+
+func (c *Cluster) putBoolMbx(m *sim.Mailbox[bool]) {
+	c.freeBoolMbx = append(c.freeBoolMbx, m)
+}
+
+func (c *Cluster) getErrMbx() *sim.Mailbox[error] {
+	if n := len(c.freeErrMbx); n > 0 {
+		m := c.freeErrMbx[n-1]
+		c.freeErrMbx[n-1] = nil
+		c.freeErrMbx = c.freeErrMbx[:n-1]
+		return m
+	}
+	return sim.NewMailbox[error](c.env)
+}
+
+func (c *Cluster) putErrMbx(m *sim.Mailbox[error]) {
+	c.freeErrMbx = append(c.freeErrMbx, m)
+}
+
+// batchScratch holds the per-batch working arrays of groupByTarget and the
+// batch entry points (ReadBatch/ScanBatch/WriteBatch). A batch checks one
+// out for its whole lifetime — routing through fan-out — and returns it
+// when done, so concurrent transactions never share one and the pool grows
+// to the high-water mark of in-flight batches.
+type batchScratch struct {
+	targets []*DataNode
+	backing []batchGroup
+	groups  []*batchGroup
+	buf     []int
+	slots   []int
+	parts   []*Partition
+	errs    []error
+}
+
+func (c *Cluster) getScratch() *batchScratch {
+	if n := len(c.freeScratch); n > 0 {
+		sc := c.freeScratch[n-1]
+		c.freeScratch[n-1] = nil
+		c.freeScratch = c.freeScratch[:n-1]
+		return sc
+	}
+	return &batchScratch{}
+}
+
+func (c *Cluster) putScratch(sc *batchScratch) {
+	c.freeScratch = append(c.freeScratch, sc)
+}
+
+// intsFor returns a zeroed length-n int slice backed by sc.slots.
+func (sc *batchScratch) intsFor(n int) []int {
+	if cap(sc.slots) < n {
+		sc.slots = make([]int, n)
+	}
+	s := sc.slots[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// partsFor returns a zeroed length-n partition slice backed by sc.parts.
+func (sc *batchScratch) partsFor(n int) []*Partition {
+	if cap(sc.parts) < n {
+		sc.parts = make([]*Partition, n)
+	}
+	s := sc.parts[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// errsFor returns a zeroed length-n error slice backed by sc.errs.
+func (sc *batchScratch) errsFor(n int) []error {
+	if cap(sc.errs) < n {
+		sc.errs = make([]error, n)
+	}
+	s := sc.errs[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}

@@ -52,8 +52,10 @@ func (t *Txn) WriteBatch(items []BatchWrite) error {
 	// TCKEYREQ is a single TC job, not one per row).
 	t.tc.use(t.p, TC, cfg.Costs.TCOp)
 
-	parts := make([]*Partition, len(items))
-	groups, ok := groupByTarget(len(items), func(i int) (*DataNode, bool) {
+	sc := t.c.getScratch()
+	defer t.c.putScratch(sc)
+	parts := sc.partsFor(len(items))
+	groups, ok := groupByTarget(sc, len(items), func(i int) (*DataNode, bool) {
 		part := items[i].Table.partitionFor(items[i].PartKey)
 		parts[i] = part
 		reps := part.replicas()
@@ -67,7 +69,7 @@ func (t *Txn) WriteBatch(items []BatchWrite) error {
 		return t.failAbort()
 	}
 
-	errs := make([]error, len(items))
+	errs := sc.errsFor(len(items))
 	serve := func(p *sim.Proc, g *batchGroup) bool {
 		target := g.target
 		if target != t.tc {

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The tests in this file pin the kernel-internals overhaul: pooled events
+// with eager timer cancellation, ring-buffer queues that release dequeued
+// references, and the mailbox waiter list that cannot leak timed-out
+// entries. Each regression here corresponds to a leak or tombstone bug in
+// the pre-overhaul kernel.
+
+// A timed-out waiter must unlink itself from the mailbox's waiter list the
+// instant its timer fires — the old kernel left it linked until a future
+// Send walked past it, so a mailbox that times out often but receives
+// rarely accumulated dead waiters without bound.
+func TestRecvTimeoutWaiterEagerlyRemoved(t *testing.T) {
+	env := New(1)
+	defer env.Close()
+	mb := NewMailbox[int](env)
+	const rounds = 50
+	env.Spawn("poller", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			if _, ok := mb.RecvTimeout(p, time.Millisecond); ok {
+				t.Error("unexpected receive")
+			}
+			if n := mb.waiterCount(); n != 0 {
+				t.Errorf("round %d: %d waiters linked after timeout, want 0", i, n)
+			}
+		}
+	})
+	env.Run()
+}
+
+// A RecvTimeout satisfied by a Send must remove its deadline timer from
+// the event heap immediately. The old kernel left a cancelled tombstone in
+// the heap until the deadline, so a long-timeout wait satisfied early kept
+// the simulation's event queue (and quiescence horizon) artificially deep:
+// with eager removal this run quiesces at 1ms, not at the 1h deadline.
+func TestCancelledTimerRemovedFromHeap(t *testing.T) {
+	env := New(1)
+	defer env.Close()
+	mb := NewMailbox[int](env)
+	env.Spawn("waiter", func(p *Proc) {
+		v, ok := mb.RecvTimeout(p, time.Hour)
+		if !ok || v != 7 {
+			t.Errorf("got (%d, %v), want (7, true)", v, ok)
+		}
+	})
+	env.At(time.Millisecond, func() { mb.Send(7) })
+	env.Run()
+	if env.Now() != time.Millisecond {
+		t.Fatalf("quiesced at %v, want 1ms (cancelled timer retained in heap)", env.Now())
+	}
+	if env.events.Len() != 0 {
+		t.Fatalf("%d events left in heap after quiescence", env.events.Len())
+	}
+}
+
+// Dequeuing from the kernel's queues must release the dequeued reference:
+// the old `q = q[1:]` idiom kept the backing array's head slots alive, so
+// every value ever queued stayed reachable until the slice reallocated.
+func TestDequeueReleasesReferences(t *testing.T) {
+	env := New(1)
+	defer env.Close()
+	mb := NewMailbox[*int](env)
+	env.Spawn("drive", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			v := i
+			mb.Send(&v)
+		}
+		for i := 0; i < 4; i++ {
+			if got := mb.Recv(p); *got != i {
+				t.Errorf("recv %d, want %d", *got, i)
+			}
+		}
+	})
+	env.Run()
+	for i, slot := range mb.q.buf {
+		if slot != nil {
+			t.Fatalf("mailbox ring slot %d still references a delivered value", i)
+		}
+	}
+	for i, slot := range env.ready.buf {
+		if slot != nil {
+			t.Fatalf("ready ring slot %d still references a finished proc", i)
+		}
+	}
+	// Resource waiter rings must release served waiters too.
+	r := NewResource(env, "res", 1)
+	done := 0
+	for i := 0; i < 3; i++ {
+		env.Spawn("user", func(p *Proc) {
+			r.Use(p, 1, time.Millisecond)
+			done++
+		})
+	}
+	env.Run()
+	if done != 3 {
+		t.Fatalf("served %d resource users, want 3", done)
+	}
+	for i, w := range r.waiters.buf {
+		if w.p != nil {
+			t.Fatalf("resource waiter slot %d still references a proc", i)
+		}
+	}
+}
+
+// Close while a process is parked inside RecvTimeout must kill it cleanly:
+// the proc's goroutine exits, nprocs drops to zero, and neither the waiter
+// list nor the event heap panics on the dead entries.
+func TestCloseDuringInflightRecvTimeout(t *testing.T) {
+	env := New(1)
+	mb := NewMailbox[int](env)
+	env.Spawn("waiter", func(p *Proc) {
+		mb.RecvTimeout(p, time.Hour)
+		t.Error("killed waiter resumed past RecvTimeout")
+	})
+	env.RunFor(time.Millisecond)
+	env.Close()
+	if env.nprocs != 0 {
+		t.Fatalf("%d procs alive after Close, want 0", env.nprocs)
+	}
+}
+
+// A Send targeting a mailbox whose only waiter has been killed must not
+// deliver to the dead proc: the defensive skip queues the value instead.
+func TestSendAfterWaiterKilledQueuesValue(t *testing.T) {
+	env := New(1)
+	mb := NewMailbox[int](env)
+	env.Spawn("waiter", func(p *Proc) {
+		mb.Recv(p)
+		t.Error("killed waiter resumed past Recv")
+	})
+	env.Run()
+	env.Close()
+	mb.Send(42)
+	if mb.Len() != 1 {
+		t.Fatalf("queued %d values, want 1", mb.Len())
+	}
+}
+
+// kernelTrace runs a mixed workload — sleeps, timeouts satisfied and
+// expired, event callbacks, cross-proc sends, RNG draws — and returns a
+// trace of everything that happened. Two runs with one seed must be
+// bit-identical: the event free-list and ring buffers are pure memory
+// reuse and must not leak into scheduling.
+func kernelTrace(seed int64) []string {
+	env := New(seed)
+	defer env.Close()
+	var trace []string
+	mb := NewMailbox[int](env)
+	side := NewMailbox[int](env)
+	env.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			p.Sleep(time.Duration(env.Rand().Intn(5)) * time.Millisecond)
+			mb.Send(i)
+			trace = append(trace, fmt.Sprintf("send %d @%v", i, p.Now()))
+		}
+	})
+	env.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			v, ok := mb.RecvTimeout(p, 3*time.Millisecond)
+			trace = append(trace, fmt.Sprintf("recv %d %v @%v", v, ok, p.Now()))
+			if !ok {
+				continue
+			}
+			side.Send(v * 2)
+		}
+	})
+	env.Spawn("drain", func(p *Proc) {
+		for {
+			v, ok := side.RecvTimeout(p, 40*time.Millisecond)
+			if !ok {
+				return
+			}
+			trace = append(trace, fmt.Sprintf("side %d @%v", v, p.Now()))
+		}
+	})
+	env.After(7*time.Millisecond, func() {
+		trace = append(trace, fmt.Sprintf("cb @%v rng=%d", env.Now(), env.Rand().Intn(100)))
+	})
+	env.Run()
+	trace = append(trace, fmt.Sprintf("end @%v", env.Now()))
+	return trace
+}
+
+func TestPooledKernelDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		a := kernelTrace(seed)
+		b := kernelTrace(seed)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: trace lengths differ: %d vs %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: traces diverge at %d: %q vs %q", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// The event free-list must actually bound allocation: a steady-state
+// sleep/timeout loop reuses pooled events rather than growing the heap or
+// the pool. This asserts pool behavior structurally (the alloc ceiling
+// itself is asserted in kernel_alloc_test.go, which needs -race off).
+func TestEventPoolReuse(t *testing.T) {
+	env := New(1)
+	defer env.Close()
+	mb := NewMailbox[int](env)
+	env.Spawn("loop", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(time.Millisecond)
+			mb.RecvTimeout(p, time.Millisecond)
+		}
+	})
+	env.Run()
+	if n := len(env.freeEvents); n == 0 || n > 8 {
+		t.Fatalf("free-list holds %d events after steady-state loop, want a small nonzero pool", n)
+	}
+	if env.events.Len() != 0 {
+		t.Fatalf("%d events still queued after quiescence", env.events.Len())
+	}
+}

@@ -6,10 +6,21 @@ import "time"
 // block; receives block the calling process until a value arrives. A
 // mailbox may have many senders and many receivers; waiting receivers are
 // served in FIFO order.
+//
+// The queue is a ring buffer (dequeued slots are zeroed and reused, so
+// delivered values are not retained) and waiters form an intrusive doubly
+// linked list of pooled nodes: a timed-out waiter unlinks itself
+// immediately and a wait satisfied by Send removes its timer from the
+// event heap eagerly, so neither the waiter list nor the heap accumulates
+// dead entries between rare sends.
 type Mailbox[T any] struct {
-	env     *Env
-	q       []T
-	waiters []*mboxWaiter[T]
+	env *Env
+	q   ring[T]
+
+	// whead/wtail are the FIFO waiter list; free is the waiter free-list
+	// (singly linked through next).
+	whead, wtail *mboxWaiter[T]
+	free         *mboxWaiter[T]
 }
 
 type mboxWaiter[T any] struct {
@@ -18,6 +29,13 @@ type mboxWaiter[T any] struct {
 	got      bool
 	timedOut bool
 	timer    *event
+	next     *mboxWaiter[T]
+	prev     *mboxWaiter[T]
+	// timeoutFn is built once per node and captures the node itself, so a
+	// pooled waiter's timeout schedules without allocating a closure. It is
+	// only ever reachable from a timer event that is eagerly removed before
+	// the node is recycled, so a reused node cannot receive a stale firing.
+	timeoutFn func()
 }
 
 // NewMailbox returns an empty mailbox bound to env.
@@ -25,40 +43,106 @@ func NewMailbox[T any](env *Env) *Mailbox[T] {
 	return &Mailbox[T]{env: env}
 }
 
+// newWaiter takes a waiter node for p from the free-list or allocates one.
+func (m *Mailbox[T]) newWaiter(p *Proc) *mboxWaiter[T] {
+	w := m.free
+	if w != nil {
+		m.free = w.next
+		w.next = nil
+		w.got, w.timedOut = false, false
+	} else {
+		w = &mboxWaiter[T]{}
+		w.timeoutFn = func() {
+			if w.got || w.timedOut {
+				return
+			}
+			w.timedOut = true
+			w.timer = nil // the event fired; the loop recycles it
+			m.unlink(w)
+			m.env.unparkTracked(w.p)
+			m.env.readyProc(w.p)
+		}
+	}
+	w.p = p
+	return w
+}
+
+// recycleWaiter zeroes a node's value and process (so the pool retains
+// neither) and returns it to the free-list. Only the owning process calls
+// this, after it has read v/timedOut back out.
+func (m *Mailbox[T]) recycleWaiter(w *mboxWaiter[T]) {
+	var zero T
+	w.v = zero
+	w.p = nil
+	w.next = m.free
+	w.prev = nil
+	m.free = w
+}
+
+// pushWaiter appends w at the tail of the waiter list.
+func (m *Mailbox[T]) pushWaiter(w *mboxWaiter[T]) {
+	w.prev = m.wtail
+	if m.wtail != nil {
+		m.wtail.next = w
+	} else {
+		m.whead = w
+	}
+	m.wtail = w
+}
+
+// unlink removes w from the waiter list (no-op if already removed).
+func (m *Mailbox[T]) unlink(w *mboxWaiter[T]) {
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else if m.whead == w {
+		m.whead = w.next
+	} else {
+		return // not linked
+	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else if m.wtail == w {
+		m.wtail = w.prev
+	}
+	w.next, w.prev = nil, nil
+}
+
 // Send enqueues v, waking the oldest waiting receiver if any. Send may be
 // called from processes or from event callbacks.
 func (m *Mailbox[T]) Send(v T) {
-	for len(m.waiters) > 0 {
-		w := m.waiters[0]
-		m.waiters = m.waiters[1:]
-		if w.got || w.timedOut {
+	for w := m.whead; w != nil; w = m.whead {
+		m.unlink(w)
+		if w.got || w.timedOut || w.p == nil || w.p.done {
+			// Defensive: satisfied and timed-out waiters unlink themselves
+			// eagerly, so live lists never contain them.
 			continue
 		}
 		w.v = v
 		w.got = true
 		if w.timer != nil {
-			w.timer.cancelled = true
+			m.env.removeEvent(w.timer)
+			w.timer = nil
 		}
 		m.env.unparkTracked(w.p)
 		m.env.readyProc(w.p)
 		return
 	}
-	m.q = append(m.q, v)
+	m.q.Push(v)
 }
 
 // Recv blocks p until a value is available and returns it. Pending
 // deferred delay is flushed first.
 func (m *Mailbox[T]) Recv(p *Proc) T {
 	p.Flush()
-	if len(m.q) > 0 {
-		v := m.q[0]
-		m.q = m.q[1:]
-		return v
+	if m.q.Len() > 0 {
+		return m.q.Pop()
 	}
-	w := &mboxWaiter[T]{p: p}
-	m.waiters = append(m.waiters, w)
+	w := m.newWaiter(p)
+	m.pushWaiter(w)
 	p.parkTracked()
-	return w.v
+	v := w.v
+	m.recycleWaiter(w)
+	return v
 }
 
 // RecvTimeout blocks p until a value arrives or d elapses. The second
@@ -66,48 +150,37 @@ func (m *Mailbox[T]) Recv(p *Proc) T {
 // flushed first.
 func (m *Mailbox[T]) RecvTimeout(p *Proc, d time.Duration) (T, bool) {
 	p.Flush()
-	if len(m.q) > 0 {
-		v := m.q[0]
-		m.q = m.q[1:]
-		return v, true
+	if m.q.Len() > 0 {
+		return m.q.Pop(), true
 	}
 	env := m.env
-	w := &mboxWaiter[T]{p: p}
-	env.seq++
-	w.timer = &event{t: env.now + d, seq: env.seq}
-	w.timer.fn = func() {
-		if w.got || w.timedOut {
-			return
-		}
-		w.timedOut = true
-		env.unparkTracked(p)
-		env.readyProc(p)
-	}
+	w := m.newWaiter(p)
+	w.timer = env.newEvent(env.now+d, w.timeoutFn, nil)
 	pushEvent(env, w.timer)
-	m.waiters = append(m.waiters, w)
+	m.pushWaiter(w)
 	p.parkTracked()
-	if w.timedOut {
+	v, timedOut := w.v, w.timedOut
+	m.recycleWaiter(w)
+	if timedOut {
 		var zero T
 		return zero, false
 	}
-	return w.v, true
+	return v, true
 }
 
 // TryRecv returns a value if one is queued, without blocking.
 func (m *Mailbox[T]) TryRecv() (T, bool) {
-	if len(m.q) == 0 {
+	if m.q.Len() == 0 {
 		var zero T
 		return zero, false
 	}
-	v := m.q[0]
-	m.q = m.q[1:]
-	return v, true
+	return m.q.Pop(), true
 }
 
 // Drain removes and returns up to max queued values without blocking. If
 // max <= 0 the entire queue is drained.
 func (m *Mailbox[T]) Drain(max int) []T {
-	n := len(m.q)
+	n := m.q.Len()
 	if max > 0 && max < n {
 		n = max
 	}
@@ -115,10 +188,21 @@ func (m *Mailbox[T]) Drain(max int) []T {
 		return nil
 	}
 	out := make([]T, n)
-	copy(out, m.q[:n])
-	m.q = m.q[n:]
+	for i := range out {
+		out[i] = m.q.Pop()
+	}
 	return out
 }
 
 // Len returns the number of queued (undelivered) values.
-func (m *Mailbox[T]) Len() int { return len(m.q) }
+func (m *Mailbox[T]) Len() int { return m.q.Len() }
+
+// waiterCount returns the length of the live waiter list (test hook for
+// the timed-out-waiter leak regression).
+func (m *Mailbox[T]) waiterCount() int {
+	n := 0
+	for w := m.whead; w != nil; w = w.next {
+		n++
+	}
+	return n
+}

@@ -11,7 +11,7 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []resWaiter
+	waiters  ring[resWaiter]
 
 	// busy accumulates inUse * elapsed in unit-nanoseconds.
 	busy       int64
@@ -46,7 +46,7 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of processes waiting to acquire.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.waiters.Len() }
 
 // Acquire blocks p until n units (n <= capacity) are available and takes
 // them. Waiters are served FIFO; a large request at the head blocks smaller
@@ -59,12 +59,12 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	if n > r.capacity {
 		panic("sim: acquire exceeds resource capacity: " + r.name)
 	}
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.waiters.Len() == 0 && r.inUse+n <= r.capacity {
 		r.account()
 		r.inUse += n
 		return
 	}
-	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
+	r.waiters.Push(resWaiter{p: p, n: n})
 	p.parkTracked()
 }
 
@@ -78,9 +78,8 @@ func (r *Resource) Release(n int) {
 	if r.inUse < 0 {
 		panic("sim: resource over-released: " + r.name)
 	}
-	for len(r.waiters) > 0 && r.inUse+r.waiters[0].n <= r.capacity {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+	for r.waiters.Len() > 0 && r.inUse+r.waiters.Peek().n <= r.capacity {
+		w := r.waiters.Pop()
 		r.inUse += w.n
 		r.env.unparkTracked(w.p)
 		r.env.readyProc(w.p)

@@ -1,0 +1,60 @@
+package sim
+
+// ring is a growable FIFO queue backed by a circular buffer. Unlike the
+// `q = append(q, v); q = q[1:]` idiom it replaces, dequeuing zeroes the
+// vacated slot and reuses it, so the backing array neither retains
+// references to delivered values nor grows without bound under steady
+// churn. The zero value is an empty ring.
+type ring[T any] struct {
+	buf  []T // len(buf) is always 0 or a power of two
+	head int
+	n    int
+}
+
+// Len returns the number of queued values.
+func (r *ring[T]) Len() int { return r.n }
+
+// Push appends v at the tail.
+func (r *ring[T]) Push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// Pop removes and returns the head value, zeroing its slot. It panics on an
+// empty ring; callers check Len first.
+func (r *ring[T]) Pop() T {
+	if r.n == 0 {
+		panic("sim: pop from empty ring")
+	}
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// Peek returns the head value without removing it.
+func (r *ring[T]) Peek() T {
+	if r.n == 0 {
+		panic("sim: peek at empty ring")
+	}
+	return r.buf[r.head]
+}
+
+// grow doubles the backing buffer, compacting the live values to the front.
+func (r *ring[T]) grow() {
+	cap := len(r.buf) * 2
+	if cap == 0 {
+		cap = 8
+	}
+	buf := make([]T, cap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}

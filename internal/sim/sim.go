@@ -29,11 +29,16 @@ type Env struct {
 	now    time.Duration
 	seq    uint64
 	events eventHeap
-	ready  []*Proc
+	ready  ring[*Proc]
 	yield  chan struct{}
 	rng    *rand.Rand
 	closed bool
 	nprocs int
+
+	// freeEvents is the event free-list: fired and eagerly-removed events
+	// are recycled here instead of being garbage, so the steady-state event
+	// queue allocates nothing.
+	freeEvents []*event
 
 	// allParked tracks processes parked on mailboxes or resources (not on
 	// timers) so Close can reach and kill them.
@@ -87,7 +92,7 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 			fn(p)
 		}
 	}()
-	e.ready = append(e.ready, p)
+	e.ready.Push(p)
 	return p
 }
 
@@ -101,8 +106,7 @@ func (e *Env) At(t time.Duration, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	e.seq++
-	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+	heap.Push(&e.events, e.newEvent(t, fn, nil))
 }
 
 // After schedules fn to run as an event callback after delay d.
@@ -140,12 +144,12 @@ func (e *Env) Close() {
 	// queue (mailbox/resource waiters) are tracked via allParked.
 	for _, p := range e.allParked {
 		p.killed = true
-		e.ready = append(e.ready, p)
+		p.parked = false
+		e.ready.Push(p)
 	}
 	e.allParked = nil
-	for len(e.ready) > 0 {
-		p := e.ready[0]
-		e.ready = e.ready[1:]
+	for e.ready.Len() > 0 {
+		p := e.ready.Pop()
 		if p.done {
 			continue
 		}
@@ -164,9 +168,8 @@ func (e *Env) Close() {
 
 func (e *Env) loop() {
 	for {
-		for len(e.ready) > 0 {
-			p := e.ready[0]
-			e.ready = e.ready[1:]
+		for e.ready.Len() > 0 {
+			p := e.ready.Pop()
 			if p.done {
 				continue
 			}
@@ -180,14 +183,18 @@ func (e *Env) loop() {
 			return
 		}
 		e.now = next
-		// Fire all events at this instant in sequence order.
+		// Fire all events at this instant in sequence order. Each event is
+		// recycled to the free-list once its effect has been captured; pure
+		// timer wake-ups (ev.proc set, no fn) ready the process directly
+		// without a per-Sleep closure.
 		for e.events.Len() > 0 && e.events[0].t == e.now {
 			ev := heap.Pop(&e.events).(*event)
-			if ev.cancelled {
-				continue
-			}
-			if ev.fn != nil {
-				ev.fn()
+			fn, p := ev.fn, ev.proc
+			e.recycleEvent(ev)
+			if p != nil {
+				e.readyProc(p)
+			} else if fn != nil {
+				fn()
 			}
 		}
 	}
@@ -209,15 +216,53 @@ func (e *Env) readyProc(p *Proc) {
 		panic("sim: proc readied twice: " + p.name)
 	}
 	p.queued = true
-	e.ready = append(e.ready, p)
+	e.ready.Push(p)
 }
 
+// event is one entry in the queue: a timer wake-up (proc set) or a callback
+// (fn set). Events are pooled on Env.freeEvents; heapIdx tracks the event's
+// position in the heap so a cancelled timer can be removed eagerly with
+// heap.Remove instead of lingering as a tombstone until its deadline.
 type event struct {
-	t         time.Duration
-	seq       uint64
-	fn        func()
-	proc      *Proc // set for pure timer wake-ups, so Close can find them
-	cancelled bool
+	t       time.Duration
+	seq     uint64
+	fn      func()
+	proc    *Proc // set for pure timer wake-ups, so Close can find them
+	heapIdx int   // position in Env.events, -1 when not queued
+}
+
+// newEvent takes an event from the free-list (or allocates one), stamps it
+// with the next sequence number, and fills it in. The caller pushes it.
+func (e *Env) newEvent(t time.Duration, fn func(), p *Proc) *event {
+	e.seq++
+	var ev *event
+	if n := len(e.freeEvents); n > 0 {
+		ev = e.freeEvents[n-1]
+		e.freeEvents[n-1] = nil
+		e.freeEvents = e.freeEvents[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.t, ev.seq, ev.fn, ev.proc = t, e.seq, fn, p
+	return ev
+}
+
+// recycleEvent clears an event no longer in the heap and returns it to the
+// free-list. Clearing fn/proc matters: a pooled event must not pin a closure
+// or a finished process.
+func (e *Env) recycleEvent(ev *event) {
+	ev.fn, ev.proc = nil, nil
+	ev.heapIdx = -1
+	e.freeEvents = append(e.freeEvents, ev)
+}
+
+// removeEvent eagerly deletes a still-queued event from the heap and
+// recycles it: the cancellation path for timers whose wait was satisfied.
+func (e *Env) removeEvent(ev *event) {
+	if ev.heapIdx >= 0 {
+		heap.Remove(&e.events, ev.heapIdx)
+	}
+	e.recycleEvent(ev)
 }
 
 type eventHeap []*event
@@ -229,13 +274,22 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.heapIdx = len(*h)
+	*h = append(*h, ev)
+}
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.heapIdx = -1
 	*h = old[:n-1]
 	return ev
 }
@@ -331,9 +385,7 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	env := p.env
-	env.seq++
-	ev := &event{t: env.now + d, seq: env.seq, proc: p, fn: func() { env.readyProc(p) }}
-	heap.Push(&env.events, ev)
+	heap.Push(&env.events, env.newEvent(env.now+d, nil, p))
 	p.park()
 }
 

@@ -118,9 +118,63 @@ type Network struct {
 
 	dropped int64
 
+	// topoEpoch counts node up/down transitions (see TopoEpoch).
+	topoEpoch uint64
+
+	// freeEnvs pools delivery envelopes for the asynchronous Send path: one
+	// envelope per in-flight message, recycled on arrival, each carrying a
+	// prebuilt fire closure so steady-state sends schedule without
+	// allocating per message.
+	freeEnvs []*envelope
+
 	// obs holds pre-registered per-hop-class counters; nil when no metrics
 	// registry is attached (see SetRegistry).
 	obs *netObs
+}
+
+// envelope is one pooled in-flight datagram: the delivery state of a Send
+// between departure and arrival. fire is built once per envelope and
+// captures only the envelope, so reusing it schedules no new closure.
+type envelope struct {
+	n        *Network
+	from, to *Node
+	msg      Message
+	fire     func()
+}
+
+// newEnvelope takes an envelope from the pool or builds one.
+func (n *Network) newEnvelope() *envelope {
+	if cnt := len(n.freeEnvs); cnt > 0 {
+		e := n.freeEnvs[cnt-1]
+		n.freeEnvs[cnt-1] = nil
+		n.freeEnvs = n.freeEnvs[:cnt-1]
+		return e
+	}
+	e := &envelope{n: n}
+	e.fire = func() { e.deliver() }
+	return e
+}
+
+// deliver runs at the arrival instant: it re-checks liveness and
+// partitions (conditions may have changed while the message was in
+// flight), hands the message to the destination inbox, and recycles the
+// envelope. State is copied out and the envelope recycled first, so a
+// handler scheduling more sends can reuse it immediately.
+func (e *envelope) deliver() {
+	n, from, to, msg := e.n, e.from, e.to, e.msg
+	e.from, e.to = nil, nil
+	e.msg = Message{}
+	n.freeEnvs = append(n.freeEnvs, e)
+	if !to.alive {
+		n.dropped++
+		return
+	}
+	if from.zone != to.zone && n.Partitioned(from.zone, to.zone) {
+		n.dropped++
+		return
+	}
+	to.nicRead += int64(msg.Size)
+	to.Inbox.Send(msg)
 }
 
 // netObs caches registry handles so the per-message cost is two atomic adds
@@ -287,11 +341,20 @@ func (nd *Node) Alive() bool { return nd.alive }
 // Fail marks the node down: its queued and future messages are dropped.
 func (nd *Node) Fail() {
 	nd.alive = false
+	nd.net.topoEpoch++
 	nd.Inbox.Drain(0)
 }
 
 // Recover marks the node up again.
-func (nd *Node) Recover() { nd.alive = true }
+func (nd *Node) Recover() {
+	nd.alive = true
+	nd.net.topoEpoch++
+}
+
+// TopoEpoch counts node up/down transitions. Layers that derive state from
+// node liveness (e.g. a partition's alive-replica list) use it to cache
+// that state between failures instead of recomputing per access.
+func (n *Network) TopoEpoch() uint64 { return n.topoEpoch }
 
 // NICBytes returns cumulative (read, write) bytes through the node's NIC.
 func (nd *Node) NICBytes() (read, write int64) { return nd.nicRead, nd.nicWrite }
@@ -376,10 +439,18 @@ func (n *Network) lost(d *degradation) bool {
 // Send transmits a message of the given size from one node to another. It
 // never blocks the caller; delivery is scheduled after queueing latency on
 // the zone-pair link plus propagation latency. Messages to dead nodes or
-// across partitions are silently dropped, as on a real network.
+// across partitions are silently dropped, as on a real network. This is
+// the pooled fast path: each message rides a recycled envelope instead of
+// a fresh closure pair.
 func (n *Network) Send(from, to *Node, size int, payload any) {
-	msg := Message{From: from.id, To: to.id, Size: size, Payload: payload}
-	n.transmit(from, to, size, func() { to.Inbox.Send(msg) })
+	arrive, ok := n.departure(from, to, size)
+	if !ok {
+		return
+	}
+	e := n.newEnvelope()
+	e.from, e.to = from, to
+	e.msg = Message{From: from.id, To: to.id, Size: size, Payload: payload}
+	n.env.At(arrive, e.fire)
 }
 
 // Deliver transmits size bytes from one node to another and, on arrival,
@@ -471,20 +542,21 @@ func (n *Network) TravelDeferred(p *sim.Proc, from, to *Node, size int, timeout 
 	return true
 }
 
-// transmit runs the shared accounting/queueing/latency path and schedules
-// handover on arrival.
-func (n *Network) transmit(from, to *Node, size int, handover func()) {
+// departure runs the shared drop/accounting/queueing/latency path of the
+// asynchronous forms, returning the arrival instant. ok is false when the
+// message is dropped at the source (dead sender, partition, lossy link).
+func (n *Network) departure(from, to *Node, size int) (arrive time.Duration, ok bool) {
 	if !from.alive {
 		n.dropped++
-		return
+		return 0, false
 	}
 	if from.zone != to.zone && n.Partitioned(from.zone, to.zone) {
 		n.dropped++
-		return
+		return 0, false
 	}
 	if n.lost(n.degradationFor(from.zone, to.zone)) {
 		n.dropped++
-		return
+		return 0, false
 	}
 	from.nicWrite += int64(size)
 	n.observe(HopClassOf(from, to), size)
@@ -498,8 +570,7 @@ func (n *Network) transmit(from, to *Node, size int, handover func()) {
 	}
 	lk.bytes += int64(size)
 	lk.messages++
-	now := n.env.Now()
-	depart := now
+	depart := n.env.Now()
 	bw := n.bandwidth(from.zone, to.zone)
 	if bw > 0 && from.id != to.id {
 		if lk.nextFree > depart {
@@ -509,7 +580,18 @@ func (n *Network) transmit(from, to *Node, size int, handover func()) {
 		lk.nextFree = depart + tx
 		depart += tx
 	}
-	n.env.At(depart+lat, func() {
+	return depart + lat, true
+}
+
+// transmit schedules an arbitrary handover on arrival: the generic (and
+// closure-allocating) form used by Deliver and Travel, which carry typed
+// mailboxes the envelope pool cannot.
+func (n *Network) transmit(from, to *Node, size int, handover func()) {
+	arrive, ok := n.departure(from, to, size)
+	if !ok {
+		return
+	}
+	n.env.At(arrive, func() {
 		if !to.alive {
 			n.dropped++
 			return

@@ -431,3 +431,38 @@ func TestDegradeLinkPreservesCleanRNGStream(t *testing.T) {
 		}
 	}
 }
+
+// The asynchronous Send path pools its delivery envelopes: each in-flight
+// message takes one envelope, recycled the instant it arrives, so a
+// steady-state message stream reuses the same envelope (and its prebuilt
+// fire closure) instead of allocating per message.
+func TestEnvelopePoolRecyclesAndDelivers(t *testing.T) {
+	env, net := newTestNet(t)
+	a := net.NewNode("a", 1, 1)
+	b := net.NewNode("b", 2, 2)
+	var got []string
+	env.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, b.Inbox.Recv(p).Payload.(string))
+		}
+	})
+	env.Spawn("send", func(p *sim.Proc) {
+		for i, msg := range []string{"m0", "m1", "m2"} {
+			net.Send(a, b, 100, msg)
+			// Serialize the messages so each envelope is back in the pool
+			// before the next Send draws one.
+			p.Sleep(time.Duration(i+1) * time.Millisecond)
+		}
+	})
+	env.Run()
+	if len(got) != 3 || got[0] != "m0" || got[1] != "m1" || got[2] != "m2" {
+		t.Fatalf("delivered %v, want [m0 m1 m2]", got)
+	}
+	if len(net.freeEnvs) != 1 {
+		t.Fatalf("envelope pool holds %d entries after serialized sends, want 1 (reuse)", len(net.freeEnvs))
+	}
+	// A recycled envelope must not retain the delivered message.
+	if e := net.freeEnvs[0]; e.msg.Payload != nil || e.from != nil || e.to != nil {
+		t.Fatalf("pooled envelope retains delivery state: %+v", e)
+	}
+}

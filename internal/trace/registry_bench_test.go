@@ -73,6 +73,88 @@ func BenchmarkRegistryTimingDisabled(b *testing.B) {
 	}
 }
 
+// TestStartOpFastPathOff pins the span-creation extension of the disable
+// fast path: a tracer whose registry is disabled and that has neither sink
+// nor observer returns nil spans (all downstream calls collapse to nil
+// checks), while attaching any consumer — observer or sink — restores real
+// spans.
+func TestStartOpFastPathOff(t *testing.T) {
+	reg := NewRegistry()
+	reg.Disable()
+	tr := NewTracer(reg)
+	if sp := tr.StartOp("stat", 0); sp != nil {
+		t.Fatal("StartOp returned a live span with every output disabled")
+	}
+	var buf Span
+	if sp := tr.StartOpInto(&buf, "stat", 0); sp != nil {
+		t.Fatal("StartOpInto returned a live span with every output disabled")
+	}
+	// Nil spans must swallow the full instrumentation surface.
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.RecordHop(HopCrossZone, 128, time.Millisecond)
+	sp.SetError()
+	sp.Child("c", 0).Finish(0)
+	sp.Finish(0)
+
+	// An observer is a live consumer: spans come back.
+	seen := 0
+	tr.SetOpObserver(func(op string, end, lat time.Duration, failed bool) { seen++ })
+	sp2 := tr.StartOp("stat", 0)
+	if sp2 == nil {
+		t.Fatal("StartOp returned nil despite an attached observer")
+	}
+	sp2.Finish(time.Millisecond)
+	if seen != 1 {
+		t.Fatalf("observer saw %d ops, want 1", seen)
+	}
+	tr.SetOpObserver(nil)
+	if tr.StartOp("stat", 0) != nil {
+		t.Fatal("removing the observer did not restore the fast path")
+	}
+	// A sink is a live consumer too.
+	tr.EnableSink(16)
+	if tr.StartOp("stat", 0) == nil {
+		t.Fatal("StartOp returned nil despite an enabled sink")
+	}
+}
+
+// The off-tracer span path is what a metrics-off benchmark run pays per
+// client operation: StartOp must cost a few atomic loads and allocate
+// nothing.
+
+func BenchmarkStartOpDisabled(b *testing.B) {
+	reg := NewRegistry()
+	reg.Disable()
+	tr := NewTracer(reg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartOp("bench", 0)
+		sp.RecordHop(HopSameZone, 64, time.Microsecond)
+		sp.Finish(time.Microsecond)
+	}
+}
+
+func BenchmarkStartOpIntoAggregate(b *testing.B) {
+	reg := NewRegistry()
+	tr := NewTracer(reg)
+	var buf Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartOpInto(&buf, "bench", 0)
+		sp.RecordHop(HopSameZone, 64, time.Microsecond)
+		sp.Finish(time.Microsecond)
+	}
+}
+
+func BenchmarkRecordHopNilSpan(b *testing.B) {
+	var sp *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp.RecordHop(HopCrossZone, 64, time.Microsecond)
+	}
+}
+
 func BenchmarkHandleCounterAdd(b *testing.B) {
 	reg := NewRegistry()
 	c := reg.Counter("bench.count")

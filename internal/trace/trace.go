@@ -288,10 +288,22 @@ func (t *Tracer) Sink() *Sink {
 	return t.sink.Load()
 }
 
+// off reports whether span creation can be skipped entirely: the registry
+// is absent or disabled, no sink retains trees, and no observer consumes
+// finished operations. A span started in this state would flush into
+// nil handles and then be discarded, so StartOp hands back a nil span
+// instead and every downstream call (Child, SetAttr, RecordHop, Finish)
+// collapses to a nil check — the span-creation extension of the
+// Registry.Disable fast path.
+func (t *Tracer) off() bool {
+	return (t.reg == nil || t.reg.disabled.Load()) &&
+		t.sink.Load() == nil && t.obs.Load() == nil
+}
+
 // StartOp opens a root span for one client operation. Returns nil on a nil
-// tracer.
+// tracer, and on a tracer whose every output is disabled (see off).
 func (t *Tracer) StartOp(name string, now time.Duration) *Span {
-	if t == nil {
+	if t == nil || t.off() {
 		return nil
 	}
 	s := &Span{Name: name, Start: now, tracer: t}
@@ -304,7 +316,7 @@ func (t *Tracer) StartOp(name string, now time.Duration) *Span {
 // time keep a reusable span buffer. In detailed mode buf is ignored and a
 // fresh span is returned, since the sink retains finished trees.
 func (t *Tracer) StartOpInto(buf *Span, name string, now time.Duration) *Span {
-	if t == nil {
+	if t == nil || t.off() {
 		return nil
 	}
 	if t.sink.Load() != nil {
