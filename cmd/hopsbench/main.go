@@ -10,7 +10,7 @@
 //
 // Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 fig14 pathdepth writefan failures chaos autoscale ablations
-// phases kernel. "chaos" runs the seeded random fault-campaign sweep
+// phases kernel hotspot. "chaos" runs the seeded random fault-campaign sweep
 // (deterministic per seed) with cross-layer invariant auditing; "failures"
 // runs the §V-F scripted drills on the same engine; "pathdepth" measures
 // stat latency vs path depth with optimistic batched resolution against
@@ -28,7 +28,17 @@
 // (per-primitive wall cost and steady-state allocations, plus the engine
 // overhead of one full grid point in wall-ns per virtual millisecond and
 // allocations per virtual op), the numbers whose regression gate lives in
-// the CI kernel job and whose trajectory is recorded in BENCH_8.json.
+// the CI kernel job and whose trajectory is recorded in BENCH_8.json;
+// "hotspot" drives a planted skewed workload with the namespace heat
+// sketches and tail-based exemplar capture enabled, checks that the
+// planted subtrees rank first at every depth and that every p99-breaching
+// op class pinned a breach exemplar, and renders the slowest exemplar
+// through the critical-path profiler.
+//
+// When any measured window evicted spans from the profiling ring, a
+// per-cell "spans dropped from the profiling sink" warning is printed to
+// stderr (the count is also in the JSON report as sink_dropped): profiler
+// attribution and exemplars then cover only a suffix of the run.
 //
 // Flags:
 //
@@ -97,6 +107,9 @@ func run(args []string) error {
 		}
 		fmt.Println(out)
 		fmt.Printf("(%s completed in %s)\n\n", exp.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	for _, w := range bench.SinkDropWarnings() {
+		fmt.Fprintln(os.Stderr, "warning:", w)
 	}
 	if *jsonOut != "" {
 		cmd := "hopsbench " + strings.Join(args, " ")

@@ -30,6 +30,16 @@
 //	    the selected metrics (per-AZ link traffic, lock waits, op rates)
 //	    over virtual time.
 //
+//	hopstrace hotspots [-setup name] [-seed S] [-ops N] [-clients N] [-format text|csv] [-exemplars] [-out file]
+//	    Same replay with the namespace heat sketches attached: decayed
+//	    Space-Saving top-k rankings of the hottest subtrees (per depth),
+//	    inodes, NDB tables, partitions, and op types, as a rendered report
+//	    (text) or machine-readable rows (csv). With -exemplars, also pin
+//	    tail exemplars — full span trees of operations that breached their
+//	    p99 objective, completed while a burn alert fired, or were the
+//	    slowest of their window — and render them through the critical-path
+//	    profiler.
+//
 //	hopstrace autoscale [-seed S] [-profile file] [-out file]
 //	    Run the elastic metadata tier under a shaped diurnal load: paced
 //	    clients follow the load profile (see internal/loadshape; -profile
@@ -70,6 +80,7 @@ import (
 	"hopsfscl/internal/bench"
 	"hopsfscl/internal/chaos"
 	"hopsfscl/internal/core"
+	"hopsfscl/internal/heat"
 	"hopsfscl/internal/loadshape"
 	"hopsfscl/internal/metrics"
 	"hopsfscl/internal/profile"
@@ -86,9 +97,65 @@ func main() {
 	}
 }
 
+// subcommands lists every hopstrace subcommand with a one-line
+// description; usage and nearest-match suggestions derive from it so the
+// help text cannot drift from the dispatch table below.
+var subcommands = []struct{ name, brief string }{
+	{"gen", "generate a Spotify-mix trace over the evaluation namespace"},
+	{"replay", "replay a trace file and report throughput, latency, and cross-AZ traffic"},
+	{"profile", "replay with detailed spans and report critical-path attribution"},
+	{"timeline", "replay under the flight recorder and emit a metrics CSV time series"},
+	{"hotspots", "replay with namespace heat sketches and report the hottest subtrees, tables, and partitions"},
+	{"autoscale", "drive the elastic metadata tier through a shaped diurnal load"},
+	{"slo", "run a seeded chaos campaign under the live SLO engine and render the alert timeline"},
+}
+
+func usageText() string {
+	var b strings.Builder
+	b.WriteString("usage: hopstrace <subcommand> [flags]\n\nsubcommands:\n")
+	for _, sc := range subcommands {
+		fmt.Fprintf(&b, "  %-9s %s\n", sc.name, sc.brief)
+	}
+	b.WriteString("\nrun `hopstrace <subcommand> -h` for the subcommand's flags")
+	return b.String()
+}
+
+// nearestSubcommand returns the subcommand closest to name by edit
+// distance, or "" when nothing is plausibly close.
+func nearestSubcommand(name string) string {
+	best, bestDist := "", 3 // suggest only within edit distance 2
+	for _, sc := range subcommands {
+		if d := editDistance(name, sc.name); d < bestDist {
+			best, bestDist = sc.name, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
 func run(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: hopstrace gen|replay|profile|timeline|autoscale|slo [flags]")
+		return fmt.Errorf("%s", usageText())
 	}
 	switch args[0] {
 	case "gen":
@@ -99,12 +166,17 @@ func run(args []string, stdout io.Writer) error {
 		return runProfile(args[1:], stdout)
 	case "timeline":
 		return runTimeline(args[1:], stdout)
+	case "hotspots":
+		return runHotspots(args[1:], stdout)
 	case "autoscale":
 		return runAutoscale(args[1:], stdout)
 	case "slo":
 		return runSLO(args[1:], stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want gen, replay, profile, timeline, autoscale or slo)", args[0])
+		if sug := nearestSubcommand(args[0]); sug != "" {
+			return fmt.Errorf("unknown subcommand %q (did you mean %q?)\n%s", args[0], sug, usageText())
+		}
+		return fmt.Errorf("unknown subcommand %q\n%s", args[0], usageText())
 	}
 }
 
@@ -428,6 +500,102 @@ func runTimeline(args []string, stdout io.Writer) error {
 	if *out != "" {
 		fmt.Fprintf(stdout, "wrote %d frames to %s\n", len(fr.Frames()), *out)
 	}
+	return nil
+}
+
+func runHotspots(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hotspots", flag.ContinueOnError)
+	setupName := fs.String("setup", "HopsFS-CL (3,3)", "deployment setup")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	ops := fs.Int("ops", 2000, "operations to generate and replay")
+	servers := fs.Int("servers", 3, "metadata servers")
+	clients := fs.Int("clients", 8, "concurrent replay clients")
+	deadline := fs.Duration("deadline", 1000*time.Second, "virtual-time budget for the replay")
+	format := fs.String("format", "text", "output format: text or csv")
+	topN := fs.Int("top", 10, "rows per heat family")
+	withExemplars := fs.Bool("exemplars", false, "pin tail exemplars (detailed tracing + SLO engine) and render them through the profiler")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *format {
+	case "text", "csv":
+	default:
+		return fmt.Errorf("unknown -format %q (want text or csv)", *format)
+	}
+	traceOps := genTrace(*ops, *seed)
+	d, err := buildReplayDeployment(*setupName, *seed, *servers, *clients)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	h := d.EnableHeat(heat.Config{TopN: *topN})
+	var (
+		exemplars *slo.Exemplars
+		sink      *trace.Sink
+	)
+	if *withExemplars {
+		sink = d.EnableTracing(len(traceOps) + 64)
+		d.EnableSLO(slo.Spec{}) // defaults: per-op p99 objectives
+		exemplars = d.EnableExemplars(slo.ExemplarConfig{})
+	}
+	elapsed, errs, err := replayConcurrent(d, traceOps, *clients, *deadline)
+	if err != nil {
+		return err
+	}
+	d.StopBackground()
+	now := d.Env.Now()
+	rep := h.Snapshot(now, *topN)
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *format == "csv" {
+		if *withExemplars {
+			fmt.Fprintln(os.Stderr, "warning: -exemplars output is text-only; the CSV carries the heat families")
+		}
+		return rep.WriteCSV(w)
+	}
+	fmt.Fprintf(w, "hotspots of %d operations on %s (seed %d, %d replay clients, %v virtual, %d errors)\n\n",
+		len(traceOps), d.Setup.Name, *seed, *clients, elapsed.Round(time.Millisecond), errs)
+	if _, err := io.WriteString(w, rep.Render()); err != nil {
+		return err
+	}
+	if exemplars == nil {
+		return nil
+	}
+	warnTruncated(w, sink)
+	xrep := exemplars.Report(now)
+	fmt.Fprintln(w)
+	if _, err := io.WriteString(w, xrep.Render()); err != nil {
+		return err
+	}
+	// Link every pinned exemplar into the critical-path profiler: one
+	// attribution table over the pinned span trees, then the slowest
+	// exemplar rendered as a flame-style tree.
+	var roots []*trace.Span
+	var slowest *slo.Exemplar
+	for _, c := range xrep.Classes {
+		for _, ex := range c.Exemplars {
+			roots = append(roots, ex.Root)
+			if slowest == nil || ex.Latency > slowest.Latency ||
+				(ex.Latency == slowest.Latency && ex.Root.ID < slowest.Root.ID) {
+				slowest = ex
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "\ncritical-path attribution over the %d pinned exemplars:\n%s", len(roots), profile.Analyze(roots).Table())
+	fmt.Fprintf(w, "\nslowest exemplar (op %s, %v, reason %s):\n%s\n",
+		slowest.Op, slowest.Latency, slowest.Reason, slowest.Root.Render())
 	return nil
 }
 

@@ -156,3 +156,67 @@ func TestBadInvocations(t *testing.T) {
 		t.Fatal("missing trace file accepted")
 	}
 }
+
+// hotspotsArgs is the fixed seed-1 hotspots run the golden file pins.
+func hotspotsArgs(format string) []string {
+	return []string{"hotspots", "-ops", "800", "-seed", "1", "-clients", "8", "-format", format, "-exemplars"}
+}
+
+func TestHotspotsGolden(t *testing.T) {
+	var out strings.Builder
+	if err := run(hotspotsArgs("text"), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"hottest subtree depth 1", "hottest table", "hottest partition", "exemplars:", "critical-path attribution"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in hotspots report:\n%s", want, got)
+		}
+	}
+	checkGolden(t, "hotspots_seed1.golden", got)
+
+	// Byte-identical across runs in the same process too.
+	var again strings.Builder
+	if err := run(hotspotsArgs("text"), &again); err != nil {
+		t.Fatal(err)
+	}
+	if got != again.String() {
+		t.Fatal("hotspots output not deterministic across same-seed runs")
+	}
+}
+
+func TestHotspotsCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"hotspots", "-ops", "400", "-seed", "1", "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(strings.NewReader(out.String()))
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("hotspots -format csv is not well-formed CSV: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("csv has %d rows, want header plus data", len(rows))
+	}
+	if want := []string{"family", "rank", "key", "touches", "share", "err"}; strings.Join(rows[0], ",") != strings.Join(want, ",") {
+		t.Fatalf("csv header = %v, want %v", rows[0], want)
+	}
+}
+
+func TestUnknownSubcommandSuggestion(t *testing.T) {
+	err := run([]string{"timline"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), `did you mean "timeline"?`) {
+		t.Fatalf("want a timeline suggestion, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "hotspots") || !strings.Contains(err.Error(), "slo") {
+		t.Fatalf("usage in error should list every subcommand, got: %v", err)
+	}
+	// Nothing plausibly close: no suggestion, usage still shown.
+	err = run([]string{"frobnicate"}, &strings.Builder{})
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("want no suggestion for %q, got: %v", "frobnicate", err)
+	}
+	if !strings.Contains(err.Error(), "subcommands:") {
+		t.Fatalf("usage missing from error: %v", err)
+	}
+}

@@ -166,10 +166,10 @@ func TestSetupsAndExperimentsListed(t *testing.T) {
 		t.Fatalf("setups = %d, want 9", got)
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 20 {
-		t.Fatalf("experiments = %d, want 20", len(ids))
+	if len(ids) != 21 {
+		t.Fatalf("experiments = %d, want 21", len(ids))
 	}
-	want := map[string]bool{"table1": true, "table2": true, "fig5": true, "fig14": true, "failures": true, "chaos": true, "phases": true, "writefan": true, "autoscale": true, "kernel": true}
+	want := map[string]bool{"table1": true, "table2": true, "fig5": true, "fig14": true, "failures": true, "chaos": true, "phases": true, "writefan": true, "autoscale": true, "kernel": true, "hotspot": true}
 	for _, id := range ids {
 		delete(want, id)
 	}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"sort"
 	"time"
@@ -31,6 +32,11 @@ type GridPoint struct {
 	ServerCPU     float64 `json:"server_cpu"`
 	StorageCPU    float64 `json:"storage_cpu"`
 	CrossZoneRate float64 `json:"cross_zone_rate"`
+
+	// SinkDropped counts spans evicted from the profiling ring during the
+	// window; nonzero means profiler attribution and exemplar capture only
+	// saw a suffix of the run.
+	SinkDropped int64 `json:"sink_dropped,omitempty"`
 
 	// SLO is the live SLO engine's window summary (runs with -json enable
 	// the engine so regressions show up as fired alerts in the report).
@@ -102,8 +108,25 @@ func recordPoint(setup string, servers int, o ExpOptions, cfg RunConfig, res *Re
 		ServerCPU:        res.ServerCPU,
 		StorageCPU:       res.StorageCPU,
 		CrossZoneRate:    res.CrossZoneRate,
+		SinkDropped:      res.SinkDropped,
 		SLO:              sloSum,
 	})
+}
+
+// SinkDropWarnings reports every measured grid cell whose profiling sink
+// evicted spans during the window, one human-readable line per cell.
+// Callers print these as warnings: nonzero drops mean profiler
+// attribution and exemplar capture only saw a suffix of the run.
+func SinkDropWarnings() []string {
+	var warns []string
+	for _, p := range recordedPoints {
+		if p.SinkDropped > 0 {
+			warns = append(warns, fmt.Sprintf(
+				"%s @%d servers (seed %d): %d spans dropped from the profiling sink",
+				p.Setup, p.Servers, p.Seed, p.SinkDropped))
+		}
+	}
+	return warns
 }
 
 // AutoscaleModeReport is one elastic-experiment mode in the JSON report.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hopsfscl/internal/core"
+	"hopsfscl/internal/heat"
 	"hopsfscl/internal/metrics"
 	"hopsfscl/internal/ndb"
 	"hopsfscl/internal/profile"
@@ -53,6 +54,23 @@ type RunConfig struct {
 	// value = slo.DefaultSpec).
 	SLO     bool
 	SLOSpec slo.Spec
+	// Heat enables namespace heat tracking from warm-up start (the decayed
+	// sketches converge to the steady-state ranking): the Result gains a
+	// heat.Report of the hottest subtrees, inodes, tables, and partitions.
+	// HeatConfig overrides the sketch parameters (zero = heat defaults).
+	Heat       bool
+	HeatConfig heat.Config
+	// Exemplars enables tail-based exemplar capture over the measurement
+	// window; implies Profile (exemplars are detailed span trees) and SLO
+	// (breach and burn gating need objectives). The Result gains an
+	// ExemplarReport of pinned outlier traces. ExemplarConfig overrides
+	// the store bounds (zero = slo defaults).
+	Exemplars      bool
+	ExemplarConfig slo.ExemplarConfig
+	// HomeDirs overrides every client's home-directory set with the same
+	// planted directories — the hotspot experiment's skew source (nil
+	// keeps the default per-client assignment).
+	HomeDirs []string
 }
 
 // ProfileSinkCap bounds the spans retained for a profiled window. When the
@@ -141,6 +159,12 @@ type Result struct {
 	// SLOReport is the live SLO engine's end-of-window report
 	// (RunConfig.SLO only).
 	SLOReport *slo.Report
+
+	// Heat is the end-of-run heat snapshot (RunConfig.Heat only).
+	Heat *heat.Report
+	// Exemplars is the pinned outlier-trace report (RunConfig.Exemplars
+	// only).
+	Exemplars *slo.ExemplarReport
 }
 
 // HomeDirsPerClient is the dataset-locality width of one benchmark client
@@ -164,6 +188,15 @@ func Run(d *core.Deployment, cfg RunConfig) *Result {
 		ops       int64 // served operations only
 		errCount  int64
 	)
+	if cfg.Exemplars {
+		cfg.Profile = true
+		cfg.SLO = true
+	}
+	if cfg.Heat {
+		// Heat tracking starts before warm-up so the decayed sketches reach
+		// steady state by window end, like a long-running deployment's would.
+		d.EnableHeat(cfg.HeatConfig)
+	}
 	affinity := cfg.Affinity
 	if affinity == 0 {
 		affinity = ClientAffinity
@@ -171,6 +204,9 @@ func Run(d *core.Deployment, cfg RunConfig) *Result {
 	for i, fs := range d.Clients {
 		fs := fs
 		home := d.Namespace.HomeDirsFor(i, HomeDirsPerClient)
+		if cfg.HomeDirs != nil {
+			home = cfg.HomeDirs
+		}
 		gen := workload.NewAffineGenerator(d.Namespace, cfg.Mix, cfg.Seed+int64(i), home, affinity)
 		env.Spawn("bench-client", func(p *sim.Proc) {
 			for !stop {
@@ -229,6 +265,10 @@ func Run(d *core.Deployment, cfg RunConfig) *Result {
 	if cfg.SLO {
 		sloEng = d.EnableSLO(cfg.SLOSpec)
 	}
+	var exemplars *slo.Exemplars
+	if cfg.Exemplars {
+		exemplars = d.EnableExemplars(cfg.ExemplarConfig)
+	}
 
 	measuring = true
 	env.RunFor(cfg.Window)
@@ -284,6 +324,12 @@ func Run(d *core.Deployment, cfg RunConfig) *Result {
 	}
 	if sloEng != nil {
 		res.SLOReport = sloEng.Report(now)
+	}
+	if cfg.Heat {
+		res.Heat = d.Heat.Snapshot(now, 0)
+	}
+	if exemplars != nil {
+		res.Exemplars = exemplars.Report(now)
 	}
 	return res
 }

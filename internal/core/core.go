@@ -12,6 +12,7 @@ import (
 
 	"hopsfscl/internal/blocks"
 	"hopsfscl/internal/cephfs"
+	"hopsfscl/internal/heat"
 	"hopsfscl/internal/namenode"
 	"hopsfscl/internal/ndb"
 	"hopsfscl/internal/objstore"
@@ -175,12 +176,19 @@ type Deployment struct {
 	// SLO is the live objective engine, nil until EnableSLO.
 	SLO *slo.Engine
 
+	// Heat is the namespace/table heat collector, nil until EnableHeat.
+	Heat *heat.Collector
+
+	// Exemplars is the tail-based exemplar store, nil until EnableExemplars.
+	Exemplars *slo.Exemplars
+
 	hostSeq int
 	// flightStop asks the flight-recorder ticker to exit at its next tick
-	// (see EnableFlightRecorder / StopBackground); sloStop does the same for
-	// the SLO evaluation ticker.
+	// (see EnableFlightRecorder / StopBackground); sloStop and heatStop do
+	// the same for the SLO evaluation and heat-publisher tickers.
 	flightStop bool
 	sloStop    bool
+	heatStop   bool
 }
 
 // zoneSet returns the zones this deployment spans. Single-AZ deployments
@@ -418,9 +426,7 @@ func (d *Deployment) EnableFlightRecorder(interval time.Duration, capacity int, 
 func (d *Deployment) EnableSLO(spec slo.Spec) *slo.Engine {
 	eng := slo.NewEngine(spec, d.Registry)
 	d.SLO = eng
-	d.Tracer.SetOpObserver(func(op string, end, latency time.Duration, failed bool) {
-		eng.ObserveOp(op, end, latency, failed)
-	})
+	d.installOpObserver()
 	if d.NS != nil {
 		ns := d.NS
 		eng.RegisterComponent("namenode", func(now time.Duration) slo.ComponentStats {
@@ -465,10 +471,72 @@ func (d *Deployment) EnableSLO(spec slo.Spec) *slo.Engine {
 	return eng
 }
 
+// installOpObserver (re)installs the tracer's single op-observer slot as a
+// dispatcher over every consumer the deployment has enabled so far: the SLO
+// engine's windowed sketches and the heat collector's op-class sketch.
+// EnableSLO and EnableHeat both route through it, so enabling them in
+// either order composes instead of clobbering the slot.
+func (d *Deployment) installOpObserver() {
+	eng, h := d.SLO, d.Heat
+	if eng == nil && h == nil {
+		return
+	}
+	d.Tracer.SetOpObserver(func(op string, end, latency time.Duration, failed bool) {
+		eng.ObserveOp(op, end, latency, failed)
+		h.ObserveOp(op, end, latency, failed)
+	})
+}
+
+// EnableHeat starts namespace heat tracking: the namenode layer attributes
+// every operation's target path (per-depth subtree prefixes) and every
+// inode row read, the NDB layer attributes every row access to its table
+// and partition, and the tracer's op observer feeds per-op-class touches.
+// A background ticker republishes the heat.* gauges every
+// cfg.PublishEvery of virtual time, so a flight recorder keeping the
+// "heat." prefix yields a heat timeline CSV. Pass a zero heat.Config for
+// defaults. The ticker is a background process — call StopBackground
+// before expecting Env.Run to quiesce.
+func (d *Deployment) EnableHeat(cfg heat.Config) *heat.Collector {
+	h := heat.NewCollector(cfg, d.Registry)
+	d.Heat = h
+	d.installOpObserver()
+	if d.NS != nil {
+		d.NS.SetHeat(h)
+	}
+	if d.DB != nil {
+		d.DB.SetHeat(h)
+	}
+	every := h.Config().PublishEvery
+	d.Env.Spawn("heat-publisher", func(p *sim.Proc) {
+		for !d.heatStop {
+			p.Sleep(every)
+			if d.heatStop {
+				return
+			}
+			h.Publish(p.Now())
+		}
+	})
+	return h
+}
+
+// EnableExemplars starts tail-based exemplar capture: every finished
+// detailed span tree is judged against the SLO spec's latency objectives
+// (call EnableSLO first to gate on objectives and burn alerts; without it
+// only per-window slowest ops pin), and qualifying trees are pinned in a
+// bounded deterministic store. Requires detailed tracing (EnableTracing)
+// to see any spans at all. Pass a zero config for defaults.
+func (d *Deployment) EnableExemplars(cfg slo.ExemplarConfig) *slo.Exemplars {
+	x := slo.NewExemplars(d.SLO, cfg)
+	d.Exemplars = x
+	d.Tracer.SetSpanObserver(x.Observe)
+	return x
+}
+
 // StopBackground halts housekeeping processes so Env.Run can quiesce.
 func (d *Deployment) StopBackground() {
 	d.flightStop = true
 	d.sloStop = true
+	d.heatStop = true
 	if d.DB != nil {
 		d.DB.StopBackground()
 	}

@@ -1,0 +1,139 @@
+package heat
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestTopKExactUnderCapacity checks that a sketch with spare capacity
+// counts exactly, with zero error bounds.
+func TestTopKExactUnderCapacity(t *testing.T) {
+	sk := NewTopK[string](8, 0)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		for j := 0; j <= i; j++ {
+			sk.Touch(0, key, 1)
+		}
+	}
+	top := sk.Top(0, 10)
+	if len(top) != 5 {
+		t.Fatalf("tracked %d keys, want 5", len(top))
+	}
+	for i, c := range top {
+		wantCount := uint64(5 - i)
+		wantKey := fmt.Sprintf("k%d", 4-i)
+		if c.Key != wantKey || c.Count != wantCount || c.Err != 0 {
+			t.Fatalf("rank %d = {%s %d ±%d}, want {%s %d ±0}", i+1, c.Key, c.Count, c.Err, wantKey, wantCount)
+		}
+	}
+	if got := sk.Total(0); got != 15 {
+		t.Fatalf("total %d, want 15", got)
+	}
+}
+
+// TestTopKHeavyHitterGuarantee floods a capacity-4 sketch with 100 distinct
+// cold keys and one hot key: Space-Saving must keep the hot key ranked
+// first with a count no lower than its true frequency.
+func TestTopKHeavyHitterGuarantee(t *testing.T) {
+	sk := NewTopK[string](4, 0)
+	for i := 0; i < 100; i++ {
+		sk.Touch(0, fmt.Sprintf("cold%03d", i), 1)
+		sk.Touch(0, "hot", 3)
+	}
+	top := sk.Top(0, 1)
+	if len(top) == 0 || top[0].Key != "hot" {
+		t.Fatalf("top key = %+v, want hot", top)
+	}
+	if top[0].Count < 300 {
+		t.Fatalf("hot count %d underestimates true 300: Space-Saving must overestimate", top[0].Count)
+	}
+	if top[0].Count-top[0].Err > 300 {
+		t.Fatalf("hot lower bound %d exceeds true 300", top[0].Count-top[0].Err)
+	}
+}
+
+// TestTopKDeterministicDisplacement pins the displacement victim: equal
+// counts break ties by ascending key, so the smallest key goes first.
+func TestTopKDeterministicDisplacement(t *testing.T) {
+	for run := 0; run < 3; run++ {
+		sk := NewTopK[string](3, 0)
+		sk.Touch(0, "b", 1)
+		sk.Touch(0, "a", 1)
+		sk.Touch(0, "c", 1)
+		sk.Touch(0, "d", 1) // displaces "a" (smallest key among count-1 ties)
+		top := sk.Top(0, 3)
+		if top[0].Key != "d" || top[0].Count != 2 || top[0].Err != 1 {
+			t.Fatalf("run %d: rank 1 = %+v, want d count 2 err 1", run, top[0])
+		}
+		if top[1].Key != "b" || top[2].Key != "c" {
+			t.Fatalf("run %d: ranks 2,3 = %s,%s, want b,c", run, top[1].Key, top[2].Key)
+		}
+	}
+}
+
+// TestTopKDecay checks window halving: counts halve per crossed boundary
+// and keys decayed to zero drop out entirely.
+func TestTopKDecay(t *testing.T) {
+	sk := NewTopK[string](8, time.Second)
+	sk.Touch(0, "old", 8)
+	sk.Touch(0, "tiny", 1)
+	// Two window boundaries pass: 8 -> 2, 1 -> 0 (evicted).
+	sk.Touch(2*time.Second+time.Millisecond, "new", 4)
+	top := sk.Top(2*time.Second+time.Millisecond, 8)
+	if len(top) != 2 {
+		t.Fatalf("tracked %d keys after decay, want 2 (tiny evicted): %+v", len(top), top)
+	}
+	if top[0].Key != "new" || top[0].Count != 4 {
+		t.Fatalf("rank 1 = %+v, want new count 4", top[0])
+	}
+	if top[1].Key != "old" || top[1].Count != 2 {
+		t.Fatalf("rank 2 = %+v, want old count 2", top[1])
+	}
+	if got := sk.Total(2*time.Second + time.Millisecond); got != 6 {
+		t.Fatalf("decayed total %d, want 6 (9>>1 + 4 - evicted rounding)", got)
+	}
+}
+
+// TestTopKLongGapClears checks that a gap of 64+ windows clears the sketch
+// without shifting loops.
+func TestTopKLongGapClears(t *testing.T) {
+	sk := NewTopK[uint64](8, time.Millisecond)
+	sk.Touch(0, 7, 1<<40)
+	sk.Touch(100*time.Millisecond, 9, 1)
+	top := sk.Top(100*time.Millisecond, 8)
+	if len(top) != 1 || top[0].Key != 9 {
+		t.Fatalf("after 100-window gap: %+v, want only key 9", top)
+	}
+}
+
+// TestTopKTouchAllocationFree pins the hot-path cost: touching an
+// already-tracked key must not allocate (the grid-point allocation ceiling
+// depends on it).
+func TestTopKTouchAllocationFree(t *testing.T) {
+	sk := NewTopK[string](8, time.Second)
+	sk.Touch(0, "steady", 1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sk.Touch(time.Millisecond, "steady", 1)
+	})
+	if allocs > 0 {
+		t.Fatalf("Touch of a tracked key allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestTopKDeterministicAcrossRuns drives two sketches through an identical
+// schedule and requires identical rankings.
+func TestTopKDeterministicAcrossRuns(t *testing.T) {
+	drive := func() []Counter[string] {
+		sk := NewTopK[string](6, 500*time.Millisecond)
+		for i := 0; i < 500; i++ {
+			now := time.Duration(i) * 7 * time.Millisecond
+			sk.Touch(now, fmt.Sprintf("k%02d", i%17), uint64(1+i%3))
+		}
+		return sk.Top(4*time.Second, 6)
+	}
+	a, b := drive(), drive()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("rankings diverge:\n%v\n%v", a, b)
+	}
+}

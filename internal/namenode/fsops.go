@@ -59,6 +59,7 @@ func (nn *NameNode) readInode(tx *ndb.Txn, parent uint64, name string) (*Inode, 
 	if !ok {
 		return nil, ErrNotFound
 	}
+	nn.ns.heat.TouchInode(tx.Now(), ino.ID)
 	return ino, nil
 }
 
@@ -75,6 +76,7 @@ func (nn *NameNode) lockInode(tx *ndb.Txn, parent uint64, name string, mode ndb.
 	if !ok {
 		return nil, ErrNotFound
 	}
+	nn.ns.heat.TouchInode(tx.Now(), ino.ID)
 	return ino, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"hopsfscl/internal/blocks"
+	"hopsfscl/internal/heat"
 	"hopsfscl/internal/ndb"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
@@ -187,6 +188,18 @@ type Namesystem struct {
 	// both are nil for uninstrumented deployments.
 	tracer *trace.Tracer
 	obs    *nnObs
+
+	// heat attributes operation paths (per-depth subtree prefixes) and
+	// touched inodes to the deployment's heat collector; nil for
+	// deployments without heat tracking (see SetHeat).
+	heat *heat.Collector
+}
+
+// SetHeat attaches a heat collector: every operation attributes one touch
+// per enclosing subtree of its target path, and every inode row read
+// attributes one inode touch. A nil collector detaches.
+func (ns *Namesystem) SetHeat(h *heat.Collector) {
+	ns.heat = h
 }
 
 // nnObs caches the namesystem's pre-registered metric handles.
@@ -612,8 +625,11 @@ func (nn *NameNode) runTxn(p *sim.Proc, hint string, fn func(tx *ndb.Txn) error)
 }
 
 // annotate tags the operation's active (root) span with the serving server
-// and target path. Attributes only materialize in detailed tracing mode.
+// and target path, and attributes the path's subtrees to the heat
+// collector. Attributes only materialize in detailed tracing mode; heat
+// touches happen in aggregate mode too (the sketches are the aggregate).
 func (nn *NameNode) annotate(p *sim.Proc, path string) {
+	nn.ns.heat.TouchPath(p.Now(), path)
 	if sp := p.Span(); sp != nil {
 		sp.SetAttr("nn", nn.Node.Name())
 		sp.SetAttr("path", path)

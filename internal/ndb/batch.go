@@ -59,6 +59,7 @@ type batchGroup struct {
 // own), and the row's partition.
 func (t *Txn) routeRow(table *Table, partKey string) (*DataNode, int, *Partition) {
 	part := table.partitionFor(partKey)
+	t.heatTouch(part)
 	reps := part.replicas()
 	if len(reps) == 0 {
 		return nil, -1, part

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"hopsfscl/internal/heat"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
 	"hopsfscl/internal/trace"
@@ -120,6 +121,11 @@ type Cluster struct {
 	// both are nil for uninstrumented clusters (see SetTracer).
 	tracer *trace.Tracer
 	obs    *clusterObs
+
+	// heat attributes per-access table and partition touches to the
+	// deployment's heat collector; nil for deployments without heat
+	// tracking (see SetHeat).
+	heat *heat.Collector
 
 	// ledger records who blocked whom on which table (nil until SetTracer
 	// attaches a registry); activeOps maps in-flight transaction IDs to
@@ -267,6 +273,13 @@ func (c *Cluster) SetTracer(tr *trace.Tracer) {
 		obs.batchWriteRows[d] = reg.Counter("ndb.batch_write.rows", "prox", proximityLabel(d))
 	}
 	c.obs = obs
+}
+
+// SetHeat attaches a heat collector: every row access attributes one touch
+// to the table and partition it lands on, so sharding decisions can be
+// grounded in observed partition skew. A nil collector detaches.
+func (c *Cluster) SetHeat(h *heat.Collector) {
+	c.heat = h
 }
 
 // Stats holds cluster-wide transaction counters.

@@ -172,6 +172,18 @@ func domainProximity(origin *simnet.Node, originDomain simnet.ZoneID, dn *DataNo
 // ID returns the transaction id.
 func (t *Txn) ID() uint64 { return t.id }
 
+// Now returns the executing process's current virtual time, so callers can
+// timestamp derived observations (heat touches) without holding the proc.
+func (t *Txn) Now() time.Duration { return t.p.Now() }
+
+// heatTouch attributes one row access to the accessed partition in the
+// cluster's heat collector; a no-op for uninstrumented clusters.
+func (t *Txn) heatTouch(part *Partition) {
+	if t.c.heat != nil {
+		t.c.heat.TouchPartition(t.p.Now(), part.table.name, part.index)
+	}
+}
+
 // Coordinator returns the datanode coordinating this transaction.
 func (t *Txn) Coordinator() *DataNode { return t.tc }
 
@@ -186,6 +198,7 @@ func (t *Txn) ReadCommitted(table *Table, partKey, key string) (Value, bool, err
 	cfg := &t.c.cfg
 	t.tc.use(t.p, TC, cfg.Costs.TCOp)
 	part := table.partitionFor(partKey)
+	t.heatTouch(part)
 	reps := part.replicas()
 	if len(reps) == 0 {
 		return nil, false, t.failAbort()
@@ -261,6 +274,7 @@ func (t *Txn) ScanPrefix(table *Table, partKey, prefix string) ([]KV, error) {
 	cfg := &t.c.cfg
 	t.tc.use(t.p, TC, cfg.Costs.TCOp)
 	part := table.partitionFor(partKey)
+	t.heatTouch(part)
 	reps := part.replicas()
 	if len(reps) == 0 {
 		return nil, t.failAbort()
@@ -373,6 +387,7 @@ func (t *Txn) ReadLocked(table *Table, partKey, key string, mode LockMode) (Valu
 	cfg := &t.c.cfg
 	t.tc.use(t.p, TC, cfg.Costs.TCOp)
 	part := table.partitionFor(partKey)
+	t.heatTouch(part)
 	reps := part.replicas()
 	if len(reps) == 0 {
 		return nil, false, t.failAbort()
@@ -412,6 +427,7 @@ func (t *Txn) Write(table *Table, partKey, key string, val Value, del bool) erro
 	cfg := &t.c.cfg
 	t.tc.use(t.p, TC, cfg.Costs.TCOp)
 	part := table.partitionFor(partKey)
+	t.heatTouch(part)
 	reps := part.replicas()
 	if len(reps) == 0 {
 		return t.failAbort()

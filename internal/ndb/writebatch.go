@@ -57,6 +57,7 @@ func (t *Txn) WriteBatch(items []BatchWrite) error {
 	parts := sc.partsFor(len(items))
 	groups, ok := groupByTarget(sc, len(items), func(i int) (*DataNode, bool) {
 		part := items[i].Table.partitionFor(items[i].PartKey)
+		t.heatTouch(part)
 		parts[i] = part
 		reps := part.replicas()
 		if len(reps) == 0 {

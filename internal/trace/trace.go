@@ -204,6 +204,9 @@ func (s *Span) Finish(now time.Duration) {
 		}
 	}
 	if s.detailed {
+		if so := t.spanObs.Load(); so != nil {
+			(*so)(s)
+		}
 		if sink := t.Sink(); sink != nil {
 			sink.Add(s)
 		}
@@ -223,12 +226,13 @@ type opStats struct {
 // pointer and span-ID sequence are lock-free: StartOp sits on the hot path
 // of every client operation.
 type Tracer struct {
-	reg  *Registry
-	sink atomic.Pointer[Sink]
-	obs  atomic.Pointer[OpObserver]
-	seq  atomic.Uint64
-	mu   sync.Mutex // guards ops
-	ops  map[string]*opStats
+	reg     *Registry
+	sink    atomic.Pointer[Sink]
+	obs     atomic.Pointer[OpObserver]
+	spanObs atomic.Pointer[SpanObserver]
+	seq     atomic.Uint64
+	mu      sync.Mutex // guards ops
+	ops     map[string]*opStats
 }
 
 // OpObserver receives every finished root operation: op name, the virtual
@@ -250,6 +254,27 @@ func (t *Tracer) SetOpObserver(obs OpObserver) {
 		return
 	}
 	t.obs.Store(&obs)
+}
+
+// SpanObserver receives every finished detailed root span, after its
+// aggregates flush and before the sink retains it. The span tree is
+// complete and must be treated as immutable. Detailed mode exists only
+// while a sink is enabled, so the observer never fires in aggregate mode.
+// The exemplar store uses this to pin outlier traces without the tracer
+// depending on it.
+type SpanObserver func(root *Span)
+
+// SetSpanObserver installs (or, with nil, removes) the tracer's span
+// observer. The observer must be safe for concurrent calls.
+func (t *Tracer) SetSpanObserver(obs SpanObserver) {
+	if t == nil {
+		return
+	}
+	if obs == nil {
+		t.spanObs.Store(nil)
+		return
+	}
+	t.spanObs.Store(&obs)
 }
 
 // NewTracer returns a tracer feeding aggregates into reg (which may be nil
