@@ -10,7 +10,8 @@
 //
 // Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 fig14 pathdepth writefan failures chaos autoscale ablations
-// phases kernel hotspot. "chaos" runs the seeded random fault-campaign sweep
+// phases kernel hotspot shardsweep. "chaos" runs the seeded random
+// fault-campaign sweep
 // (deterministic per seed) with cross-layer invariant auditing; "failures"
 // runs the §V-F scripted drills on the same engine; "pathdepth" measures
 // stat latency vs path depth with optimistic batched resolution against
@@ -33,7 +34,12 @@
 // sketches and tail-based exemplar capture enabled, checks that the
 // planted subtrees rank first at every depth and that every p99-breaching
 // op class pinned a breach exemplar, and renders the slowest exemplar
-// through the critical-path profiler.
+// through the critical-path profiler; "shardsweep" holds the offered load
+// fixed and sweeps the number of independent NDB clusters the namespace
+// is hash-sharded across (Options.Shards), checking the 1.8x
+// 4-vs-1-shard scaling floor inline and reporting the cross-shard rename
+// path (ordered two-cluster commits with durable intents) separately
+// from the shard-local fast path — the run recorded in BENCH_10.json.
 //
 // When any measured window evicted spans from the profiling ring, a
 // per-cell "spans dropped from the profiling sink" warning is printed to

@@ -30,11 +30,14 @@
 //	    the selected metrics (per-AZ link traffic, lock waits, op rates)
 //	    over virtual time.
 //
-//	hopstrace hotspots [-setup name] [-seed S] [-ops N] [-clients N] [-format text|csv] [-exemplars] [-out file]
+//	hopstrace hotspots [-setup name] [-seed S] [-ops N] [-clients N] [-shards N] [-format text|csv] [-exemplars] [-out file]
 //	    Same replay with the namespace heat sketches attached: decayed
 //	    Space-Saving top-k rankings of the hottest subtrees (per depth),
 //	    inodes, NDB tables, partitions, and op types, as a rendered report
-//	    (text) or machine-readable rows (csv). With -exemplars, also pin
+//	    (text) or machine-readable rows (csv). With -shards > 1 the
+//	    namespace is hash-sharded across that many NDB clusters and the
+//	    report gains the per-shard routing-balance family. With -exemplars,
+//	    also pin
 //	    tail exemplars — full span trees of operations that breached their
 //	    p99 objective, completed while a burn alert fired, or were the
 //	    slowest of their window — and render them through the critical-path
@@ -327,7 +330,7 @@ func warnTruncated(w io.Writer, sink *trace.Sink) {
 
 // buildReplayDeployment builds a deployment sized for clients concurrent
 // replay clients over servers metadata servers.
-func buildReplayDeployment(setupName string, seed int64, servers, clients int) (*core.Deployment, error) {
+func buildReplayDeployment(setupName string, seed int64, servers, clients, shards int) (*core.Deployment, error) {
 	setup, ok := core.SetupByName(setupName)
 	if !ok {
 		return nil, fmt.Errorf("unknown setup %q", setupName)
@@ -335,6 +338,7 @@ func buildReplayDeployment(setupName string, seed int64, servers, clients int) (
 	opts := core.DefaultOptions(setup)
 	opts.MetadataServers = servers
 	opts.ClientsPerServer = (clients + servers - 1) / servers
+	opts.Shards = shards
 	opts.Seed = seed
 	return core.Build(opts)
 }
@@ -393,6 +397,7 @@ func runProfile(args []string, stdout io.Writer) error {
 	out := fs.String("out", "", "output file (default stdout)")
 	sinkCap := fs.Int("sink", 0, "span ring capacity (default ops+64)")
 	top := fs.Int("top", 10, "rows in the contention tables")
+	shards := fs.Int("shards", 1, "NDB clusters the namespace is hash-sharded across")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -402,7 +407,7 @@ func runProfile(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown -format %q (want text, folded or chrome)", *format)
 	}
 	traceOps := genTrace(*ops, *seed)
-	d, err := buildReplayDeployment(*setupName, *seed, *servers, *clients)
+	d, err := buildReplayDeployment(*setupName, *seed, *servers, *clients, *shards)
 	if err != nil {
 		return err
 	}
@@ -461,11 +466,12 @@ func runTimeline(args []string, stdout io.Writer) error {
 	interval := fs.Duration("interval", 20*time.Millisecond, "flight-recorder sampling interval (virtual time)")
 	keep := fs.String("keep", "op.,txn.,net.link.,ndb.contention.", "comma-separated metric name prefixes to record")
 	out := fs.String("out", "", "output file (default stdout)")
+	shards := fs.Int("shards", 1, "NDB clusters the namespace is hash-sharded across")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	traceOps := genTrace(*ops, *seed)
-	d, err := buildReplayDeployment(*setupName, *seed, *servers, *clients)
+	d, err := buildReplayDeployment(*setupName, *seed, *servers, *clients, *shards)
 	if err != nil {
 		return err
 	}
@@ -515,6 +521,7 @@ func runHotspots(args []string, stdout io.Writer) error {
 	topN := fs.Int("top", 10, "rows per heat family")
 	withExemplars := fs.Bool("exemplars", false, "pin tail exemplars (detailed tracing + SLO engine) and render them through the profiler")
 	out := fs.String("out", "", "output file (default stdout)")
+	shards := fs.Int("shards", 1, "NDB clusters the namespace is hash-sharded across (adds the per-shard heat family)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -524,7 +531,7 @@ func runHotspots(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown -format %q (want text or csv)", *format)
 	}
 	traceOps := genTrace(*ops, *seed)
-	d, err := buildReplayDeployment(*setupName, *seed, *servers, *clients)
+	d, err := buildReplayDeployment(*setupName, *seed, *servers, *clients, *shards)
 	if err != nil {
 		return err
 	}

@@ -69,6 +69,7 @@ type options struct {
 	storageNodes      int
 	blockDataNodes    int
 	seed              int64
+	shards            int
 	withoutBlocks     bool
 	objectStoreBlocks bool
 }
@@ -114,6 +115,15 @@ func WithObjectStoreBlocks() Option {
 	return optionFunc(func(o *options) { o.objectStoreBlocks = true })
 }
 
+// WithShards hash-shards the namespace across n independent NDB clusters
+// (default 1, the paper's single-cluster deployment). Rows route by the
+// FNV-64a hash of the parent directory's id, so directory listings and
+// parent-child operations stay on one shard; only a rename across the
+// hash boundary pays a cross-cluster ordered commit. See DESIGN.md §16.
+func WithShards(n int) Option {
+	return optionFunc(func(o *options) { o.shards = n })
+}
+
 // WithSeed sets the deterministic simulation seed (default 1).
 func WithSeed(seed int64) Option {
 	return optionFunc(func(o *options) { o.seed = seed })
@@ -155,6 +165,7 @@ func New(opts ...Option) (*Cluster, error) {
 		WithBlockLayer:     !o.withoutBlocks,
 		BlockDataNodes:     o.blockDataNodes,
 		ObjectStoreBlocks:  o.objectStoreBlocks,
+		Shards:             o.shards,
 		Namespace:          workload.NamespaceSpec{}, // start empty
 		Seed:               o.seed,
 	}

@@ -166,10 +166,10 @@ func TestSetupsAndExperimentsListed(t *testing.T) {
 		t.Fatalf("setups = %d, want 9", got)
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 21 {
-		t.Fatalf("experiments = %d, want 21", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("experiments = %d, want 22", len(ids))
 	}
-	want := map[string]bool{"table1": true, "table2": true, "fig5": true, "fig14": true, "failures": true, "chaos": true, "phases": true, "writefan": true, "autoscale": true, "kernel": true, "hotspot": true}
+	want := map[string]bool{"table1": true, "table2": true, "fig5": true, "fig14": true, "failures": true, "chaos": true, "phases": true, "writefan": true, "autoscale": true, "kernel": true, "hotspot": true, "shardsweep": true}
 	for _, id := range ids {
 		delete(want, id)
 	}
@@ -346,5 +346,34 @@ func TestElasticScaleOnFacade(t *testing.T) {
 	}
 	if c.ServingNameNodes() < 1 {
 		t.Fatal("no serving servers left")
+	}
+}
+
+func TestShardedFacade(t *testing.T) {
+	c, err := New(WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs := c.Client(1)
+	// The README sharding quickstart, end to end: shard-local creates,
+	// then a rename that may cross the hash boundary.
+	if err := fs.MkdirAll("/proj/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/proj/a/x", 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/stage"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/proj/a/x", "/stage/x"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := fs.Exists("/stage/x"); !ok {
+		t.Fatal("renamed file missing at destination")
+	}
+	if ok, _ := fs.Exists("/proj/a/x"); ok {
+		t.Fatal("renamed file still present at source")
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"hopsfscl/internal/blocks"
 	"hopsfscl/internal/core"
+	"hopsfscl/internal/ndb"
 )
 
 // Violation is one observed invariant breach.
@@ -22,8 +23,12 @@ func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
 // simulated network), so callers must drain the workload first — the
 // engine's checkpoint path does.
 type Auditor struct {
-	d           *core.Deployment
-	lastDurable uint64
+	d *core.Deployment
+	// dbs are the NDB clusters in shard order; lastDurable tracks each
+	// shard's durable epoch independently (the clusters checkpoint on
+	// their own cadences).
+	dbs         []*ndb.Cluster
+	lastDurable []uint64
 
 	// Checkpoints counts completed audits; Violations accumulates every
 	// breach found across them.
@@ -31,9 +36,16 @@ type Auditor struct {
 	Violations  []Violation
 }
 
-// NewAuditor returns an auditor over the deployment.
+// NewAuditor returns an auditor over the deployment. All invariants run
+// per NDB cluster, so a sharded deployment is audited shard by shard with
+// the same checks an unsharded one gets.
 func NewAuditor(d *core.Deployment) *Auditor {
-	return &Auditor{d: d, lastDurable: d.DB.DurableEpoch()}
+	a := &Auditor{d: d, dbs: d.MetaClusters()}
+	a.lastDurable = make([]uint64, len(a.dbs))
+	for i, db := range a.dbs {
+		a.lastDurable[i] = db.DurableEpoch()
+	}
+	return a
 }
 
 // Check runs one audit checkpoint and returns the newly found violations.
@@ -48,7 +60,10 @@ func (a *Auditor) Check(now time.Duration, quiesced, settled bool) []Violation {
 	add := func(invariant, format string, args ...any) {
 		out = append(out, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
 	}
-	a.checkNDB(add, quiesced)
+	for s := range a.dbs {
+		a.checkNDB(add, s, quiesced)
+	}
+	a.checkIntents(add, quiesced, settled)
 	a.checkBlocks(add, now, settled)
 	a.checkLeader(add, settled)
 	sort.Slice(out, func(i, j int) bool {
@@ -64,14 +79,16 @@ func (a *Auditor) Check(now time.Duration, quiesced, settled bool) []Violation {
 
 type addFn func(invariant, format string, args ...any)
 
-// checkNDB verifies the storage layer: every node group keeps at least one
-// live member, every partition keeps a live primary from its own group,
-// the durable epoch never regresses, and a drained cluster holds no locks
-// or half-open transactions.
-func (a *Auditor) checkNDB(add addFn, quiesced bool) {
-	db := a.d.DB
-	if db == nil {
-		return
+// checkNDB verifies one shard's storage layer: every node group keeps at
+// least one live member, every partition keeps a live primary from its own
+// group, the durable epoch never regresses, and a drained cluster holds no
+// locks or half-open transactions. Violation details name the shard only
+// on sharded deployments, so unsharded audit output is unchanged.
+func (a *Auditor) checkNDB(add addFn, s int, quiesced bool) {
+	db := a.dbs[s]
+	at := ""
+	if len(a.dbs) > 1 {
+		at = fmt.Sprintf(" [shard %d]", s)
 	}
 	for gi, group := range db.NodeGroups() {
 		alive := 0
@@ -81,43 +98,58 @@ func (a *Auditor) checkNDB(add addFn, quiesced bool) {
 			}
 		}
 		if alive == 0 {
-			add("ndb-group-liveness", "node group %d has no live member: its partitions are gone", gi)
+			add("ndb-group-liveness", "node group %d has no live member: its partitions are gone%s", gi, at)
 		}
 	}
 	for _, t := range db.Tables() {
 		for _, part := range t.Partitions() {
 			reps := part.Replicas()
 			if len(reps) == 0 {
-				add("ndb-partition-replicas", "table %s partition %d has no live replica", t.Name(), part.Index())
+				add("ndb-partition-replicas", "table %s partition %d has no live replica%s", t.Name(), part.Index(), at)
 				continue
 			}
 			for _, dn := range reps {
 				if !dn.Alive() {
-					add("ndb-partition-replicas", "table %s partition %d lists dead replica ndb-%d",
-						t.Name(), part.Index(), dn.Index+1)
+					add("ndb-partition-replicas", "table %s partition %d lists dead replica ndb-%d%s",
+						t.Name(), part.Index(), dn.Index+1, at)
 				}
 				if dn.Group != part.Group() && !t.Options().FullyReplicated {
-					add("ndb-partition-replicas", "table %s partition %d served by ndb-%d of group %d, want group %d",
-						t.Name(), part.Index(), dn.Index+1, dn.Group, part.Group())
+					add("ndb-partition-replicas", "table %s partition %d served by ndb-%d of group %d, want group %d%s",
+						t.Name(), part.Index(), dn.Index+1, dn.Group, part.Group(), at)
 				}
 			}
 		}
 	}
 	cur, dur := db.CurrentEpoch(), db.DurableEpoch()
-	if dur < a.lastDurable {
-		add("gcp-durable-monotonic", "durable epoch regressed from %d to %d", a.lastDurable, dur)
+	if dur < a.lastDurable[s] {
+		add("gcp-durable-monotonic", "durable epoch regressed from %d to %d%s", a.lastDurable[s], dur, at)
 	}
-	a.lastDurable = dur
+	a.lastDurable[s] = dur
 	if cur <= dur {
-		add("gcp-epoch-order", "current epoch %d not ahead of durable epoch %d", cur, dur)
+		add("gcp-epoch-order", "current epoch %d not ahead of durable epoch %d%s", cur, dur, at)
 	}
 	if quiesced {
 		if n := db.InFlightTxns(); n != 0 {
-			add("txn-quiescence", "%d transactions still in flight after drain", n)
+			add("txn-quiescence", "%d transactions still in flight after drain%s", n, at)
 		}
 		for _, row := range db.HeldLocks() {
-			add("lock-leak", "row %s still locked after drain", row)
+			add("lock-leak", "row %s still locked after drain%s", row, at)
 		}
+	}
+}
+
+// checkIntents verifies that no durable cross-shard intent survives a
+// quiesced sweep: the engine resolves pending intents before auditing, so
+// anything still in the intent tables means an unrecoverable half-commit.
+// Meaningful only once settled — while a fault is active, the sweeper may
+// legitimately be unable to reach the shard holding an intent's rows.
+// Unsharded deployments have no intent tables and always pass.
+func (a *Auditor) checkIntents(add addFn, quiesced, settled bool) {
+	if !quiesced || !settled || a.d.NS == nil || len(a.dbs) <= 1 {
+		return
+	}
+	if n := a.d.NS.PendingIntents(); n != 0 {
+		add("intent-resolution", "%d cross-shard intents still pending after quiesced sweep", n)
 	}
 }
 

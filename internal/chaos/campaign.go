@@ -56,6 +56,7 @@ type interval struct {
 	zone     simnet.ZoneID
 	zoneB    simnet.ZoneID
 	node     int
+	shard    int
 }
 
 // conflicts lists, per fault kind, the kinds it must never overlap.
@@ -92,7 +93,17 @@ func Generate(d *core.Deployment, seed int64, duration time.Duration, faults int
 	multiZone := d.Setup.Zones == 3
 	lossyOK := d.Setup.MetaReplication >= 3
 	nns := len(d.NS.NameNodes())
-	dns := len(d.DB.DataNodes())
+	// Enumerate datanodes across every NDB cluster so a sharded deployment
+	// gets faults on all shards. One rng draw selects a global index that
+	// maps back to (shard, local node); with one cluster the totals and
+	// draw sequence match the pre-sharding generator exactly.
+	clusters := d.MetaClusters()
+	perCluster := make([]int, len(clusters))
+	dns := 0
+	for i, c := range clusters {
+		perCluster[i] = len(c.DataNodes())
+		dns += perCluster[i]
+	}
 
 	var placed []interval
 	var sched Schedule
@@ -143,7 +154,8 @@ func Generate(d *core.Deployment, seed int64, duration time.Duration, faults int
 			}
 			// Never stack two faults on the identical target even when the
 			// kinds are compatible (e.g. slow-link twice on the same pair).
-			if p.kind == iv.kind && p.zone == iv.zone && p.zoneB == iv.zoneB && p.node == iv.node {
+			if p.kind == iv.kind && p.zone == iv.zone && p.zoneB == iv.zoneB &&
+				p.node == iv.node && p.shard == iv.shard {
 				return true
 			}
 		}
@@ -187,8 +199,16 @@ func Generate(d *core.Deployment, seed int64, duration time.Duration, faults int
 				iv.node = 1 + rng.Intn(nns)
 				st.Node, rec.Node = iv.node, iv.node
 			case FaultCrashDN:
-				iv.node = rng.Intn(dns)
+				g := rng.Intn(dns)
+				for s, n := range perCluster {
+					if g < n {
+						iv.shard, iv.node = s, g
+						break
+					}
+					g -= n
+				}
 				st.Node, rec.Node = iv.node, iv.node
+				st.Shard, rec.Shard = iv.shard, iv.shard
 			}
 			if overlaps(iv) {
 				continue

@@ -93,6 +93,9 @@ type Step struct {
 	// Node targets a node: the NDB datanode index for crash-dn/rejoin-dn,
 	// the 1-based metadata-server id for kill-nn/restart-nn.
 	Node int
+	// Shard selects which NDB cluster crash-dn/rejoin-dn target in a
+	// sharded deployment (0 for unsharded, and the default).
+	Shard int
 	// Factor is the slow-link latency multiplier.
 	Factor float64
 	// Loss is the lossy-link drop probability.
@@ -102,7 +105,12 @@ type Step struct {
 // String renders the step in the schedule-file syntax (see ParseSchedule).
 func (s Step) String() string {
 	switch s.Kind {
-	case FaultCrashDN, FaultRejoinDN, FaultKillNN, FaultRestartNN:
+	case FaultCrashDN, FaultRejoinDN:
+		if s.Shard != 0 {
+			return fmt.Sprintf("at %v %s %d %d", s.At, s.Kind, s.Node, s.Shard)
+		}
+		return fmt.Sprintf("at %v %s %d", s.At, s.Kind, s.Node)
+	case FaultKillNN, FaultRestartNN:
 		return fmt.Sprintf("at %v %s %d", s.At, s.Kind, s.Node)
 	case FaultFailZone, FaultRecoverZone:
 		return fmt.Sprintf("at %v %s %d", s.At, s.Kind, s.Zone)
@@ -178,8 +186,9 @@ func DetectionSchedule() Schedule {
 //	at 36s  restore-link 1 2
 //
 // Durations use Go syntax (5s, 500ms). Zones are 1-based zone ids;
-// crash-dn/rejoin-dn take an NDB datanode index, kill-nn/restart-nn a
-// 1-based metadata-server id.
+// crash-dn/rejoin-dn take an NDB datanode index plus an optional shard
+// index ("crash-dn 4 1" crashes datanode 4 of shard 1's cluster),
+// kill-nn/restart-nn a 1-based metadata-server id.
 func ParseSchedule(text string) (Schedule, error) {
 	var sched Schedule
 	for ln, raw := range strings.Split(text, "\n") {
@@ -213,7 +222,22 @@ func ParseSchedule(text string) (Schedule, error) {
 			return strconv.ParseFloat(args[i], 64)
 		}
 		switch st.Kind {
-		case FaultCrashDN, FaultRejoinDN, FaultKillNN, FaultRestartNN:
+		case FaultCrashDN, FaultRejoinDN:
+			n, err := num(0)
+			if err != nil {
+				return nil, err
+			}
+			st.Node = n
+			if len(args) > 1 {
+				// Optional second argument: the shard whose cluster owns
+				// the datanode (sharded deployments only).
+				s, err := num(1)
+				if err != nil {
+					return nil, err
+				}
+				st.Shard = s
+			}
+		case FaultKillNN, FaultRestartNN:
 			n, err := num(0)
 			if err != nil {
 				return nil, err

@@ -7,6 +7,7 @@ import (
 
 	"hopsfscl/internal/core"
 	"hopsfscl/internal/namenode"
+	"hopsfscl/internal/ndb"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
 	"hopsfscl/internal/slo"
@@ -105,6 +106,11 @@ type Engine struct {
 	sched Schedule
 	aud   *Auditor
 
+	// dbs are the deployment's NDB clusters in shard order (just d.DB for
+	// unsharded deployments); sharded is len(dbs) > 1.
+	dbs     []*ndb.Cluster
+	sharded bool
+
 	agents  []*agent
 	records []Record
 	paused  bool
@@ -116,7 +122,9 @@ type Engine struct {
 	// fault-state tracking for the settled gate.
 	downZones map[simnet.ZoneID]bool
 	downNNs   map[int]bool
-	downDNs   map[int]bool
+	// downDNs is keyed by (shard, datanode index) so per-cluster faults in
+	// a sharded deployment track independently.
+	downDNs   map[[2]int]bool
 	parts     map[[2]simnet.ZoneID]bool
 	degr      map[[2]simnet.ZoneID]bool
 	lastFault time.Duration
@@ -152,14 +160,17 @@ func NewEngine(d *core.Deployment, sched Schedule, cfg Config) (*Engine, error) 
 	if d.DB == nil || d.NS == nil {
 		return nil, fmt.Errorf("chaos: deployment has no NDB/namenode stack")
 	}
+	dbs := d.MetaClusters()
 	e := &Engine{
 		d:         d,
 		cfg:       cfg.withDefaults(sched),
 		sched:     append(Schedule{}, sched...),
 		aud:       NewAuditor(d),
+		dbs:       dbs,
+		sharded:   len(dbs) > 1,
 		downZones: make(map[simnet.ZoneID]bool),
 		downNNs:   make(map[int]bool),
-		downDNs:   make(map[int]bool),
+		downDNs:   make(map[[2]int]bool),
 		parts:     make(map[[2]simnet.ZoneID]bool),
 		degr:      make(map[[2]simnet.ZoneID]bool),
 	}
@@ -172,7 +183,6 @@ func NewEngine(d *core.Deployment, sched Schedule, cfg Config) (*Engine, error) 
 
 func (e *Engine) validate() error {
 	nns := len(e.d.NS.NameNodes())
-	dns := len(e.d.DB.DataNodes())
 	zones := e.d.Net.Topology().Zones()
 	for _, st := range e.sched {
 		switch st.Kind {
@@ -181,7 +191,10 @@ func (e *Engine) validate() error {
 				return fmt.Errorf("chaos: step %q: no metadata server %d", st, st.Node)
 			}
 		case FaultCrashDN, FaultRejoinDN:
-			if st.Node < 0 || st.Node >= dns {
+			if st.Shard < 0 || st.Shard >= len(e.dbs) {
+				return fmt.Errorf("chaos: step %q: no shard %d", st, st.Shard)
+			}
+			if st.Node < 0 || st.Node >= len(e.dbs[st.Shard].DataNodes()) {
 				return fmt.Errorf("chaos: step %q: no NDB datanode %d", st, st.Node)
 			}
 		case FaultFailZone, FaultRecoverZone:
@@ -256,7 +269,9 @@ func (e *Engine) apply(st Step) error {
 	switch st.Kind {
 	case FaultFailZone:
 		e.downZones[st.Zone] = true
-		d.DB.FailZone(st.Zone)
+		for _, db := range e.dbs {
+			db.FailZone(st.Zone)
+		}
 		for _, nn := range d.NS.NameNodes() {
 			if nn.Node.Zone() == st.Zone {
 				nn.Fail()
@@ -273,7 +288,9 @@ func (e *Engine) apply(st Step) error {
 		delete(e.downZones, st.Zone)
 		z := st.Zone
 		d.Env.Spawn("chaos-recover-zone", func(p *sim.Proc) {
-			d.DB.RecoverZone(p, z)
+			for _, db := range e.dbs {
+				db.RecoverZone(p, z)
+			}
 			for _, nn := range d.NS.NameNodes() {
 				if nn.Node.Zone() == z {
 					nn.Recover()
@@ -290,7 +307,9 @@ func (e *Engine) apply(st Step) error {
 		})
 	case FaultPartition:
 		e.parts[zpair(st.Zone, st.ZoneB)] = true
-		d.DB.NextArbitrationEpoch()
+		for _, db := range e.dbs {
+			db.NextArbitrationEpoch()
+		}
 		d.Net.Partition(st.Zone, st.ZoneB)
 	case FaultHeal:
 		delete(e.parts, zpair(st.Zone, st.ZoneB))
@@ -306,12 +325,13 @@ func (e *Engine) apply(st Step) error {
 		delete(e.downNNs, st.Node)
 		d.NS.NameNodes()[st.Node-1].Recover()
 	case FaultCrashDN:
-		e.downDNs[st.Node] = true
-		d.DB.DataNodes()[st.Node].Node.Fail()
+		e.downDNs[[2]int{st.Shard, st.Node}] = true
+		e.dbs[st.Shard].DataNodes()[st.Node].Node.Fail()
 	case FaultRejoinDN:
-		delete(e.downDNs, st.Node)
-		dn := d.DB.DataNodes()[st.Node]
-		d.Env.Spawn("chaos-rejoin-dn", func(p *sim.Proc) { d.DB.Rejoin(p, dn) })
+		delete(e.downDNs, [2]int{st.Shard, st.Node})
+		db := e.dbs[st.Shard]
+		dn := db.DataNodes()[st.Node]
+		d.Env.Spawn("chaos-rejoin-dn", func(p *sim.Proc) { db.Rejoin(p, dn) })
 	case FaultSlowLink:
 		e.degr[zpair(st.Zone, st.ZoneB)] = true
 		d.Net.DegradeLink(st.Zone, st.ZoneB, st.Factor, 0)
@@ -334,15 +354,17 @@ func (e *Engine) apply(st Step) error {
 // false-positives after a lossy link. Nodes in deliberately failed zones
 // or deliberately crashed are left alone.
 func (e *Engine) rejoinStragglers(p *sim.Proc) {
-	for i, dn := range e.d.DB.DataNodes() {
-		if e.downDNs[i] || e.downZones[dn.Node.Zone()] {
-			continue
-		}
-		switch {
-		case !dn.Alive():
-			e.d.DB.Rejoin(p, dn)
-		case dn.DeclaredDead():
-			e.d.DB.Reinstate(p, dn)
+	for s, db := range e.dbs {
+		for i, dn := range db.DataNodes() {
+			if e.downDNs[[2]int{s, i}] || e.downZones[dn.Node.Zone()] {
+				continue
+			}
+			switch {
+			case !dn.Alive():
+				db.Rejoin(p, dn)
+			case dn.DeclaredDead():
+				db.Reinstate(p, dn)
+			}
 		}
 	}
 }
@@ -369,6 +391,13 @@ func (e *Engine) settled() bool {
 func (e *Engine) checkpoint(label string) {
 	pauseStart := e.d.Env.Now()
 	quiesced := e.quiesce()
+	if quiesced {
+		// With the workload drained, any durable cross-shard intent left in
+		// storage belongs to a coordinator that died mid-commit: recover it
+		// now so the auditor sees a namespace with no commit half-applied.
+		// (No-op for unsharded deployments, which never write intents.)
+		e.sweepIntents()
+	}
 	viol := e.aud.Check(e.d.Env.Now(), quiesced, e.settled())
 	if !quiesced {
 		// The drain itself is an invariant: a workload that cannot drain
@@ -381,6 +410,24 @@ func (e *Engine) checkpoint(label string) {
 	e.pauses = append(e.pauses, Window{From: pauseStart, To: e.d.Env.Now()})
 	e.snapshot(label, len(viol))
 	e.paused = false
+}
+
+// sweepIntents runs the cross-shard intent resolver to completion while the
+// workload is quiesced. Resolution is itself transactional, so the run
+// drains back to zero in-flight transactions before returning.
+func (e *Engine) sweepIntents() {
+	if !e.sharded {
+		return
+	}
+	done := false
+	e.d.Env.Spawn("chaos-intent-sweep", func(p *sim.Proc) {
+		_, _ = e.d.NS.ResolvePendingIntents(p)
+		done = true
+	})
+	deadline := e.d.Env.Now() + e.cfg.AuditBudget
+	for !done && e.d.Env.Now() < deadline {
+		e.d.Env.RunFor(2 * time.Millisecond)
+	}
 }
 
 // pausedTotal returns the total time spent in audit pauses so far.
@@ -437,7 +484,12 @@ func (e *Engine) drained() bool {
 			return false
 		}
 	}
-	return e.d.DB.InFlightTxns() == 0 && len(e.d.DB.HeldLocks()) == 0
+	for _, db := range e.dbs {
+		if db.InFlightTxns() != 0 || len(db.HeldLocks()) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func (e *Engine) snapshot(label string, newViol int) {
@@ -455,10 +507,12 @@ func (e *Engine) snapshot(label string, newViol int) {
 		rate = float64(ok-e.lastSnap.ok) / dt.Seconds()
 	}
 	live, total := 0, 0
-	for _, dn := range e.d.DB.DataNodes() {
-		total++
-		if dn.Alive() {
-			live++
+	for _, db := range e.dbs {
+		for _, dn := range db.DataNodes() {
+			total++
+			if dn.Alive() {
+				live++
+			}
 		}
 	}
 	leaderID := 0
@@ -497,6 +551,14 @@ func (e *Engine) spawnAgents() {
 			st:   make(map[string]pathState),
 			byst: map[pathState][]string{},
 		}
+		if e.sharded {
+			// A second directory whose partition key hashes independently:
+			// renames into it cross the shard boundary whenever the two
+			// directories land on different clusters, so sharded campaigns
+			// exercise the two-shard commit path. Both directories belong
+			// to this agent — the sole-mutator property is preserved.
+			a.xdir = fmt.Sprintf("/chaos/m%d", i)
+		}
 		e.agents = append(e.agents, a)
 		e.d.Env.Spawn(fmt.Sprintf("chaos-client-%d", i), a.run)
 	}
@@ -511,7 +573,10 @@ type agent struct {
 	cl  *namenode.Client
 	rng *rand.Rand
 	dir string
-	seq int
+	// xdir is the agent's second directory, set only for sharded
+	// deployments; some renames target it to cross the shard boundary.
+	xdir string
+	seq  int
 
 	st   map[string]pathState
 	byst map[pathState][]string
@@ -525,6 +590,12 @@ func (a *agent) run(p *sim.Proc) {
 	if err := a.cl.MkdirAll(p, a.dir); err != nil {
 		a.setupErr = err
 		return
+	}
+	if a.xdir != "" {
+		if err := a.cl.MkdirAll(p, a.xdir); err != nil {
+			a.setupErr = err
+			return
+		}
 	}
 	a.setup = true
 	for !a.e.stopped {
@@ -672,7 +743,16 @@ func (a *agent) rename(p *sim.Proc) {
 		a.create(p)
 		return
 	}
-	dst := fmt.Sprintf("%s/r%06d", a.dir, a.seq)
+	dir := a.dir
+	if a.xdir != "" && a.rng.Intn(2) == 1 {
+		// Sharded deployments only: half the renames move into the second
+		// directory, crossing the shard boundary when the two directories
+		// hash to different clusters. The extra RNG draw happens only when
+		// xdir is set, so unsharded campaigns keep their byte-identical
+		// operation sequence.
+		dir = a.xdir
+	}
+	dst := fmt.Sprintf("%s/r%06d", dir, a.seq)
 	a.seq++
 	invoke := p.Now()
 	err := a.cl.Rename(p, src, dst)

@@ -302,6 +302,11 @@ type CampaignOptions struct {
 	// value = slo.DefaultSpec).
 	SLO     bool
 	SLOSpec slo.Spec
+	// Shards is the number of independent NDB clusters the namespace is
+	// sharded across (0 or 1 = the classic single-cluster deployment). The
+	// generated campaign then targets datanodes on every shard, and the
+	// workload includes cross-shard renames.
+	Shards int
 }
 
 // RunCampaign builds a fresh deployment, generates (or takes) a fault
@@ -325,6 +330,7 @@ func RunCampaign(seed int64, opts CampaignOptions) (*Report, error) {
 	o.BlockDataNodes = 9
 	o.Namespace = workload.NamespaceSpec{TopDirs: 2, SubDirs: 2, FilesPerDir: 4}
 	o.Seed = seed
+	o.Shards = opts.Shards
 	d, err := core.Build(o)
 	if err != nil {
 		return nil, err

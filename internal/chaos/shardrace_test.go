@@ -1,0 +1,292 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hopsfscl/internal/core"
+	"hopsfscl/internal/ndb"
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/simnet"
+	"hopsfscl/internal/workload"
+)
+
+// TestCrossShardRenameCrashRace is the two-shard commit property test: a
+// stream of renames pinned to cross the shard boundary races the crash of
+// the exact datanode serving the participating partition — on the source
+// shard for half the scenarios, the destination shard for the other half.
+// After recovery and an intent sweep, every file must exist exactly once
+// (no lost acked write, no duplicated or orphaned inode), storage must
+// agree with the acked outcome, and the operation history must check
+// clean. Runs ≥5 seeds; the CI shardsweep job repeats it under -race.
+func TestCrossShardRenameCrashRace(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	disturbed := 0
+	for _, seed := range seeds {
+		for victim := 0; victim < 2; victim++ {
+			seed, victim := seed, victim
+			t.Run(fmt.Sprintf("seed%d-crash-shard%d", seed, victim), func(t *testing.T) {
+				disturbed += runRenameCrashRace(t, seed, victim)
+			})
+		}
+	}
+	if disturbed == 0 {
+		t.Fatalf("no scenario disturbed a rename: the race never bit, crash timing needs retuning")
+	}
+}
+
+// runRenameCrashRace runs one scenario and returns 1 when the crash
+// actually disturbed the rename stream (an errored rename or a pending
+// intent), 0 when every rename sailed through before or after the outage.
+func runRenameCrashRace(t *testing.T, seed int64, victimShard int) int {
+	const files = 16
+	setup, _ := core.SetupByName("HopsFS-CL (3,3)")
+	o := core.DefaultOptions(setup)
+	o.MetadataServers = 3
+	o.ClientsPerServer = 1
+	o.StorageNodes = 6
+	o.PartitionsPerTable = 8
+	o.Namespace = workload.NamespaceSpec{TopDirs: 1, SubDirs: 1, FilesPerDir: 2}
+	o.Seed = seed
+	o.Shards = 2
+	d, err := core.Build(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	cl := d.NS.NewClient(1, simnet.HostID(9500), 1)
+
+	var (
+		records          []Record
+		renameErrs       = make([]error, files)
+		srcID, dstID     uint64
+		setupErr         error
+		renamesStarted   bool
+		renamesDone      bool
+		pendingBeforeFix int
+	)
+	name := func(i int) string { return fmt.Sprintf("f%02d", i) }
+
+	d.Env.Spawn("driver", func(p *sim.Proc) {
+		fail := func(stage string, err error) bool {
+			if err != nil && setupErr == nil {
+				setupErr = fmt.Errorf("%s: %w", stage, err)
+			}
+			return err != nil
+		}
+		if fail("mkdir race", cl.Mkdir(p, "/race")) ||
+			fail("mkdir src", cl.Mkdir(p, "/race/src")) ||
+			fail("mkdir dst", cl.Mkdir(p, "/race/dst")) {
+			return
+		}
+		src, err := cl.Stat(p, "/race/src")
+		if fail("stat src", err) {
+			return
+		}
+		dst, err := cl.Stat(p, "/race/dst")
+		if fail("stat dst", err) {
+			return
+		}
+		srcID, dstID = src.ID, dst.ID
+		// Pin the two directories to different shards before any child
+		// rows exist, so every rename below is a true two-shard commit.
+		if fail("pin src", d.NS.PinSubtree(src.ID, 0)) ||
+			fail("pin dst", d.NS.PinSubtree(dst.ID, 1)) {
+			return
+		}
+		for i := 0; i < files; i++ {
+			invoke := p.Now()
+			err := cl.Create(p, "/race/src/"+name(i), 100)
+			records = append(records, Record{Op: "create", Path: "/race/src/" + name(i),
+				Invoke: invoke, Return: p.Now(), Err: err})
+			if fail("create", err) {
+				return
+			}
+		}
+		renamesStarted = true
+		for i := 0; i < files; i++ {
+			invoke := p.Now()
+			err := cl.Rename(p, "/race/src/"+name(i), "/race/dst/"+name(i))
+			renameErrs[i] = err
+			records = append(records, Record{Op: "rename", Path: "/race/src/" + name(i),
+				Path2: "/race/dst/" + name(i), Invoke: invoke, Return: p.Now(), Err: err})
+			p.Sleep(500 * time.Microsecond)
+		}
+		renamesDone = true
+	})
+
+	// The saboteur: once renames begin, wait a seed-dependent offset, then
+	// poll for a durable cross-shard intent — the sign that some rename is
+	// exactly between its two commits — and at that instant crash the
+	// datanode serving the racing partition on the victim shard. Crashing
+	// the destination shard fails the second leg mid-commit; crashing the
+	// source shard hits the intent holder, stranding the record until the
+	// sweep. Either way the crash lands inside the two-shard commit window
+	// deterministically.
+	d.Env.Spawn("saboteur", func(p *sim.Proc) {
+		for !renamesStarted && setupErr == nil {
+			p.Sleep(200 * time.Microsecond)
+		}
+		if setupErr != nil {
+			return
+		}
+		p.Sleep(time.Duration(seed) * time.Millisecond)
+		deadline := p.Now() + 10*time.Second
+		for d.NS.PendingIntents() == 0 && !renamesDone && p.Now() < deadline {
+			p.Sleep(20 * time.Microsecond)
+		}
+		db := d.MetaClusters()[victimShard]
+		dirID := srcID
+		if victimShard == 1 {
+			dirID = dstID
+		}
+		dn := db.Table("inodes").PrimaryFor(fmt.Sprintf("%d", dirID))
+		if dn == nil {
+			return
+		}
+		dn.Node.Fail()
+		p.Sleep(1500 * time.Millisecond)
+		db.Rejoin(p, dn)
+	})
+
+	d.Env.RunFor(40 * time.Second)
+	if setupErr != nil {
+		t.Fatalf("scenario setup failed: %v", setupErr)
+	}
+	if !renamesDone {
+		t.Fatalf("rename stream never finished")
+	}
+	pendingBeforeFix = d.NS.PendingIntents()
+	// The crash can land anywhere in the two-shard commit: before the
+	// intent is durable (clean abort), between the commits (inline
+	// resolution or a stranded intent), or after. All of those are the
+	// race biting; the router's counters see every case, including the
+	// ones the retry/resolution machinery masks from the client.
+	crossOK := d.Registry.Counter("shard.txn.cross").Value()
+	crossAborts := d.Registry.Counter("shard.txn.cross_aborts").Value()
+	crossIndet := d.Registry.Counter("shard.txn.cross_indeterminate").Value()
+	resolvedInline := d.Registry.Counter("shard.intents.resolved").Value()
+	if crossOK+crossIndet == 0 {
+		t.Fatalf("no rename crossed the shard boundary: pinning is broken")
+	}
+
+	// Recovery: sweep any intent a mid-commit crash left durable.
+	d.Env.Spawn("sweeper", func(p *sim.Proc) {
+		if _, err := d.NS.ResolvePendingIntents(p); err != nil {
+			t.Errorf("intent sweep: %v", err)
+		}
+	})
+	d.Env.RunFor(5 * time.Second)
+	if n := d.NS.PendingIntents(); n != 0 {
+		t.Fatalf("%d intents still pending after sweep", n)
+	}
+
+	// Storage-level audit: each file exists exactly once across the two
+	// shards, under exactly one of its two possible parents, and no
+	// conflict-parked duplicate rows linger.
+	rows := make(map[string]int)
+	for s := 0; s < 2; s++ {
+		d.MetaClusters()[s].Table("inodes").ForEachCommitted(func(_, key string, _ ndb.Value) {
+			rows[key]++
+			if strings.Contains(key, "~dup") {
+				t.Errorf("shard %d holds conflict-parked duplicate row %q", s, key)
+			}
+		})
+	}
+	for i := 0; i < files; i++ {
+		srcKey := fmt.Sprintf("%d/%s", srcID, name(i))
+		dstKey := fmt.Sprintf("%d/%s", dstID, name(i))
+		n := rows[srcKey] + rows[dstKey]
+		if n != 1 {
+			t.Errorf("file %s exists %d times (src=%d dst=%d), want exactly 1",
+				name(i), n, rows[srcKey], rows[dstKey])
+			continue
+		}
+		switch err := renameErrs[i]; {
+		case err == nil && rows[dstKey] != 1:
+			t.Errorf("rename of %s was acked but the row sits at the source", name(i))
+		case err != nil && !indeterminate(err) && rows[srcKey] != 1:
+			t.Errorf("rename of %s failed definitively (%v) but the row moved", name(i), err)
+		}
+	}
+
+	// History-level audit: final reads resolve every indeterminate rename,
+	// and the checker must find no lost acked write or stale read.
+	d.Env.Spawn("verifier", func(p *sim.Proc) {
+		for i := 0; i < files; i++ {
+			for _, path := range []string{"/race/src/" + name(i), "/race/dst/" + name(i)} {
+				invoke := p.Now()
+				_, err := cl.Stat(p, path)
+				records = append(records, Record{Op: "stat", Path: path,
+					Invoke: invoke, Return: p.Now(), Err: err})
+			}
+		}
+	})
+	d.Env.RunFor(5 * time.Second)
+	res := CheckHistory(records)
+	if len(res.Violations) != 0 {
+		for _, v := range res.Violations {
+			t.Errorf("history: %s", v)
+		}
+	}
+
+	errored := 0
+	for _, err := range renameErrs {
+		if err != nil {
+			errored++
+		}
+	}
+	t.Logf("seed=%d victim=shard%d: %d/%d renames errored, pending=%d aborts=%d indet=%d resolved=%d",
+		seed, victimShard, errored, files, pendingBeforeFix, crossAborts, crossIndet, resolvedInline)
+	if errored > 0 || pendingBeforeFix > 0 || crossAborts > 0 || crossIndet > 0 || resolvedInline > 0 {
+		return 1
+	}
+	return 0
+}
+
+// TestShardedChaosCampaign runs generated fault campaigns against a
+// two-shard deployment: faults land on both clusters' datanodes, the
+// workload's renames cross the shard boundary, and every campaign must
+// finish with zero invariant violations (including the pending-intent
+// invariant the auditor checks after each quiesced sweep) and a clean
+// operation history.
+func TestShardedChaosCampaign(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	shardFaults := 0
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmtSeed(seed), func(t *testing.T) {
+			rep, err := RunCampaign(seed, CampaignOptions{
+				Faults:      4,
+				CampaignLen: 25 * time.Second,
+				Engine:      Config{Clients: 4},
+				Shards:      2,
+			})
+			if err != nil {
+				t.Fatalf("campaign: %v", err)
+			}
+			if rep.Check.OK == 0 {
+				t.Fatalf("campaign had no successful operation:\n%s", rep.Render())
+			}
+			if !rep.Clean() {
+				t.Fatalf("campaign not clean:\n%s", rep.Render())
+			}
+			for _, st := range rep.Schedule {
+				if st.Shard != 0 {
+					shardFaults++
+				}
+			}
+		})
+	}
+	if !testing.Short() && shardFaults == 0 {
+		t.Errorf("no generated fault targeted shard 1 across %d campaigns", len(seeds))
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"hopsfscl/internal/namenode"
 	"hopsfscl/internal/ndb"
 	"hopsfscl/internal/objstore"
+	"hopsfscl/internal/shard"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
 	"hopsfscl/internal/slo"
@@ -91,6 +92,12 @@ type Options struct {
 	StorageNodes int
 	// PartitionsPerTable sets the NDB partition count.
 	PartitionsPerTable int
+	// Shards is the number of independent NDB clusters the namespace is
+	// hash-partitioned across (internal/shard). Zero or one keeps the
+	// single-cluster deployment, byte for byte. Each extra shard is a full
+	// cluster of StorageNodes datanodes with its own node groups, replica
+	// chains, and management nodes.
+	Shards int
 	// WithBlockLayer adds block storage datanodes (not needed for the
 	// metadata benchmarks, which use empty files as in §V).
 	WithBlockLayer bool
@@ -158,8 +165,12 @@ type Deployment struct {
 	Registry *trace.Registry
 	Tracer   *trace.Tracer
 
-	// HopsFS/HopsFS-CL components (nil for CephFS).
+	// HopsFS/HopsFS-CL components (nil for CephFS). DB is shard 0's
+	// cluster — the only one for unsharded deployments; Router routes
+	// partition keys across all of them (a one-cluster identity router
+	// when Opts.Shards <= 1).
 	DB     *ndb.Cluster
+	Router *shard.Router
 	NS     *namenode.Namesystem
 	Blocks *blocks.Manager
 
@@ -260,25 +271,42 @@ func (d *Deployment) buildHops() error {
 		dbCfg.Costs = *opts.NDBCosts
 	}
 
-	dataPl := make([]ndb.Placement, 0, opts.StorageNodes)
-	for _, pl := range ndb.SpreadPlacement(opts.StorageNodes, zones, 0) {
-		dataPl = append(dataPl, ndb.Placement{Zone: pl.Zone, Host: d.nextHost()})
-	}
-	var mgmtPl []ndb.Placement
-	if opts.Setup.Zones == 1 {
-		mgmtPl = []ndb.Placement{{Zone: zones[0], Host: d.nextHost()}}
-	} else {
-		// Figure 4: one management node per AZ; M1 (zone 1) arbitrates.
-		for _, z := range zones {
-			mgmtPl = append(mgmtPl, ndb.Placement{Zone: z, Host: d.nextHost()})
+	// buildCluster stands up one NDB cluster on fresh hosts; extra shards
+	// get a name prefix so node names and gauge labels stay distinct.
+	buildCluster := func(prefix string) (*ndb.Cluster, error) {
+		cfg := dbCfg
+		cfg.NamePrefix = prefix
+		dataPl := make([]ndb.Placement, 0, opts.StorageNodes)
+		for _, pl := range ndb.SpreadPlacement(opts.StorageNodes, zones, 0) {
+			dataPl = append(dataPl, ndb.Placement{Zone: pl.Zone, Host: d.nextHost()})
 		}
+		var mgmtPl []ndb.Placement
+		if opts.Setup.Zones == 1 {
+			mgmtPl = []ndb.Placement{{Zone: zones[0], Host: d.nextHost()}}
+		} else {
+			// Figure 4: one management node per AZ; M1 (zone 1) arbitrates.
+			for _, z := range zones {
+				mgmtPl = append(mgmtPl, ndb.Placement{Zone: z, Host: d.nextHost()})
+			}
+		}
+		return ndb.New(d.Env, d.Net, cfg, dataPl, mgmtPl)
 	}
-	db, err := ndb.New(d.Env, d.Net, dbCfg, dataPl, mgmtPl)
+	db, err := buildCluster("")
 	if err != nil {
 		return err
 	}
 	db.SetTracer(d.Tracer)
 	d.DB = db
+
+	clusters := []*ndb.Cluster{db}
+	for s := 1; s < opts.Shards; s++ {
+		c, err := buildCluster(fmt.Sprintf("s%d-", s))
+		if err != nil {
+			return err
+		}
+		c.SetTracer(d.Tracer)
+		clusters = append(clusters, c)
+	}
 
 	if opts.WithBlockLayer {
 		bCfg := blocks.DefaultConfig()
@@ -320,6 +348,20 @@ func (d *Deployment) buildHops() error {
 		nnCfg.ElectionRound = opts.NNElectionRound
 	}
 	ns := namenode.NewNamesystem(db, d.Blocks, nnCfg)
+	if len(clusters) > 1 {
+		// Re-home the namespace onto a multi-cluster router before any
+		// namenode or traffic exists. Unsharded deployments keep the
+		// namesystem's internal one-cluster router untouched.
+		router, err := shard.NewRouter(clusters)
+		if err != nil {
+			return err
+		}
+		router.SetTracer(d.Tracer)
+		if err := ns.AttachShards(router); err != nil {
+			return err
+		}
+	}
+	d.Router = ns.Router()
 	ns.SetTracer(d.Tracer)
 	d.NS = ns
 
@@ -434,9 +476,16 @@ func (d *Deployment) EnableSLO(spec slo.Spec) *slo.Engine {
 			return slo.ComponentStats{Live: live, Expected: expected, Quorum: 1, Util: util}
 		})
 	}
-	if d.DB != nil {
-		db := d.DB
-		eng.RegisterComponent("ndb", func(now time.Duration) slo.ComponentStats {
+	for i, c := range d.MetaClusters() {
+		db := c
+		// Shard 0 keeps the historical "ndb" component name; extra shards
+		// are health-tracked as their own components, so one failing shard
+		// degrades cluster health without masking the others.
+		name := "ndb"
+		if i > 0 {
+			name = fmt.Sprintf("ndb-s%d", i)
+		}
+		eng.RegisterComponent(name, func(now time.Duration) slo.ComponentStats {
 			live, expected, groupLost, util, pressure := db.HealthStats(now)
 			st := slo.ComponentStats{
 				Live: live, Expected: expected, Quorum: expected/2 + 1,
@@ -503,8 +552,11 @@ func (d *Deployment) EnableHeat(cfg heat.Config) *heat.Collector {
 	if d.NS != nil {
 		d.NS.SetHeat(h)
 	}
-	if d.DB != nil {
-		d.DB.SetHeat(h)
+	for _, c := range d.MetaClusters() {
+		c.SetHeat(h)
+	}
+	if d.Router != nil {
+		d.Router.SetHeat(h)
 	}
 	every := h.Config().PublishEvery
 	d.Env.Spawn("heat-publisher", func(p *sim.Proc) {
@@ -537,8 +589,8 @@ func (d *Deployment) StopBackground() {
 	d.flightStop = true
 	d.sloStop = true
 	d.heatStop = true
-	if d.DB != nil {
-		d.DB.StopBackground()
+	for _, c := range d.MetaClusters() {
+		c.StopBackground()
 	}
 	if d.NS != nil {
 		d.NS.StopBackground()
@@ -570,13 +622,26 @@ func (d *Deployment) ServerCPUs() []*sim.Resource {
 	return out
 }
 
+// MetaClusters returns every NDB metadata cluster in shard order — one for
+// unsharded deployments, Opts.Shards of them otherwise (nil for CephFS).
+func (d *Deployment) MetaClusters() []*ndb.Cluster {
+	if d.Router != nil {
+		return d.Router.Clusters()
+	}
+	if d.DB != nil {
+		return []*ndb.Cluster{d.DB}
+	}
+	return nil
+}
+
 // StorageCPUs returns the storage layer's CPU resources: every NDB thread
-// pool. CephFS OSD CPU stays flat and low in the paper (§V-D1); disk and
-// network are the interesting OSD signals, reported via StorageNodes.
+// pool, across all shards. CephFS OSD CPU stays flat and low in the paper
+// (§V-D1); disk and network are the interesting OSD signals, reported via
+// StorageNodes.
 func (d *Deployment) StorageCPUs() []*sim.Resource {
 	var out []*sim.Resource
-	if d.DB != nil {
-		for _, dn := range d.DB.DataNodes() {
+	for _, c := range d.MetaClusters() {
+		for _, dn := range c.DataNodes() {
 			threads := dn.Threads()
 			out = append(out, threads[:]...)
 		}
@@ -588,8 +653,8 @@ func (d *Deployment) StorageCPUs() []*sim.Resource {
 // OSDs) for NIC/disk accounting.
 func (d *Deployment) StorageNodes() []*simnet.Node {
 	var out []*simnet.Node
-	if d.DB != nil {
-		for _, dn := range d.DB.DataNodes() {
+	for _, c := range d.MetaClusters() {
+		for _, dn := range c.DataNodes() {
 			out = append(out, dn.Node)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"hopsfscl/internal/ndb"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/slo"
 	"hopsfscl/internal/workload"
@@ -53,6 +54,86 @@ func TestBuildAllPaperSetups(t *testing.T) {
 				t.Fatalf("%d/200 ops errored", errs)
 			}
 		})
+	}
+}
+
+// TestShardedDeployment builds a two-shard HopsFS-CL deployment, drives a
+// mixed workload through it (including renames, some of which cross the
+// shard boundary), and checks the namespace actually spread across both
+// clusters with no pending cross-shard intents left behind.
+func TestShardedDeployment(t *testing.T) {
+	opts := smallOptions(PaperSetups[5])
+	opts.Shards = 2
+	d, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if got := len(d.MetaClusters()); got != 2 {
+		t.Fatalf("meta clusters = %d, want 2", got)
+	}
+	if got := len(d.StorageNodes()); got != 12 {
+		t.Fatalf("storage nodes = %d, want 12 across both shards", got)
+	}
+	gen := workload.NewGenerator(d.Namespace, workload.SpotifyMix, 1)
+	var errs, ops int
+	d.Env.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 400; i++ {
+			if _, err := gen.Step(p, d.Clients[i%len(d.Clients)]); err != nil {
+				errs++
+			}
+			ops++
+		}
+	})
+	d.Env.RunFor(time.Minute)
+	if ops != 400 {
+		t.Fatalf("only %d/400 ops completed", ops)
+	}
+	if errs > 20 {
+		t.Fatalf("%d/400 ops errored", errs)
+	}
+	for s := 0; s < 2; s++ {
+		rows := 0
+		d.NS.Router().Cluster(s).Table("inodes").ForEachCommitted(func(_, _ string, _ ndb.Value) {
+			rows++
+		})
+		if rows == 0 {
+			t.Fatalf("shard %d holds no inode rows: namespace did not spread", s)
+		}
+	}
+	if pending := d.NS.PendingIntents(); pending != 0 {
+		t.Fatalf("%d cross-shard intents left pending after quiesce", pending)
+	}
+}
+
+// TestShardedDeterminism checks that a sharded deployment is bit-for-bit
+// reproducible under load, like its unsharded counterpart.
+func TestShardedDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		opts := smallOptions(PaperSetups[5])
+		opts.Shards = 3
+		d, err := Build(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		gen := workload.NewGenerator(d.Namespace, workload.SpotifyMix, 3)
+		d.Env.Spawn("driver", func(p *sim.Proc) {
+			for i := 0; i < 300; i++ {
+				_, _ = gen.Step(p, d.Clients[i%len(d.Clients)])
+			}
+		})
+		d.Env.RunFor(30 * time.Second)
+		var committed int64
+		for _, c := range d.MetaClusters() {
+			committed += c.Stats.Committed
+		}
+		return committed, d.Net.CrossZoneBytes()
+	}
+	c1, x1 := run()
+	c2, x2 := run()
+	if c1 != c2 || x1 != x2 {
+		t.Fatalf("sharded deployments diverge: (%d,%d) vs (%d,%d)", c1, x1, c2, x2)
 	}
 }
 

@@ -77,6 +77,10 @@ type Collector struct {
 	tables   *TopK[string]
 	parts    *TopK[string]
 	ops      *TopK[string]
+	// shards tracks per-shard routing balance. nil until a multi-shard
+	// router enables it (EnableShardFamily), so unsharded deployments
+	// publish and snapshot exactly the historical family set.
+	shards *TopK[string]
 
 	// mu guards the partition-key cache and gauge handles; the sketches
 	// lock themselves.
@@ -163,6 +167,28 @@ func (c *Collector) partKey(table string, index int) string {
 	return keys[index]
 }
 
+// EnableShardFamily adds the "shard" key family: one key per shard,
+// touched by the router at every sub-transaction begin, so shard-balance
+// skew ranks alongside tables and partitions in hotspot reports. The
+// family stays disabled (absent from Publish and Snapshot) until a
+// multi-shard router calls this.
+func (c *Collector) EnableShardFamily() {
+	if c == nil || c.shards != nil {
+		return
+	}
+	c.shards = NewTopK[string](c.cfg.K, c.cfg.Window)
+}
+
+// TouchShard attributes one routed sub-transaction to a shard key. The
+// caller passes a cached key string ("shard0", ...), so the touch
+// allocates nothing; a no-op until EnableShardFamily.
+func (c *Collector) TouchShard(now time.Duration, key string) {
+	if c == nil || c.shards == nil {
+		return
+	}
+	c.shards.Touch(now, key, 1)
+}
+
 // ObserveOp is a trace.OpObserver feeding the op-class sketch: heat rides
 // the same hook the SLO engine consumes.
 func (c *Collector) ObserveOp(op string, end, _ time.Duration, _ bool) {
@@ -172,8 +198,9 @@ func (c *Collector) ObserveOp(op string, end, _ time.Duration, _ bool) {
 	c.ops.Touch(end, op, 1)
 }
 
-// familyNames orders the published families deterministically.
-var familyOrder = []string{"subtree", "inode", "table", "partition", "op"}
+// familyNames orders the published families deterministically; "shard"
+// only exists on multi-shard deployments (EnableShardFamily).
+var familyOrder = []string{"subtree", "inode", "table", "partition", "op", "shard"}
 
 // Publish refreshes the heat.* gauges at virtual instant now:
 // heat.<family>.top1_share and heat.<family>.topk_share per family (the
@@ -193,6 +220,9 @@ func (c *Collector) Publish(now time.Duration) {
 	c.publishFamily("table", c.tables, now)
 	c.publishFamily("partition", c.parts, now)
 	c.publishFamily("op", c.ops, now)
+	if c.shards != nil {
+		c.publishFamily("shard", c.shards, now)
+	}
 }
 
 func (c *Collector) publishFamily(name string, sk sketchView, now time.Duration) {
@@ -310,6 +340,9 @@ func (c *Collector) Snapshot(now time.Duration, topN int) *Report {
 	add("table", c.tables)
 	add("partition", c.parts)
 	add("op", c.ops)
+	if c.shards != nil {
+		add("shard", c.shards)
+	}
 	return rep
 }
 

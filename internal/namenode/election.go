@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"hopsfscl/internal/ndb"
+	"hopsfscl/internal/shard"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
 )
@@ -42,7 +42,7 @@ func (nn *NameNode) electionLoop(p *sim.Proc) {
 }
 
 func (nn *NameNode) electionRound(p *sim.Proc) {
-	err := nn.runTxn(p, electionPartKey, func(tx *ndb.Txn) error {
+	err := nn.runTxn(p, electionPartKey, func(tx *shard.Txn) error {
 		row := &electionRow{ID: nn.ID, Domain: nn.Domain, At: p.Now()}
 		if err := tx.Insert(nn.ns.election, electionPartKey, electionKey(nn.ID), row); err != nil {
 			return err

@@ -8,6 +8,7 @@ import (
 
 	"hopsfscl/internal/blocks"
 	"hopsfscl/internal/ndb"
+	"hopsfscl/internal/shard"
 	"hopsfscl/internal/sim"
 )
 
@@ -47,7 +48,7 @@ func (nn *NameNode) hintFor(comps []string) string {
 }
 
 // readInode fetches one inode row read-committed.
-func (nn *NameNode) readInode(tx *ndb.Txn, parent uint64, name string) (*Inode, error) {
+func (nn *NameNode) readInode(tx *shard.Txn, parent uint64, name string) (*Inode, error) {
 	v, ok, err := tx.ReadCommitted(nn.ns.inodes, partKeyOf(parent, name), inodeKey(parent, name))
 	if err != nil {
 		return nil, err
@@ -64,7 +65,7 @@ func (nn *NameNode) readInode(tx *ndb.Txn, parent uint64, name string) (*Inode, 
 }
 
 // lockInode re-reads an inode under a row lock on the primary replica.
-func (nn *NameNode) lockInode(tx *ndb.Txn, parent uint64, name string, mode ndb.LockMode) (*Inode, error) {
+func (nn *NameNode) lockInode(tx *shard.Txn, parent uint64, name string, mode ndb.LockMode) (*Inode, error) {
 	v, ok, err := tx.ReadLocked(nn.ns.inodes, partKeyOf(parent, name), inodeKey(parent, name), mode)
 	if err != nil {
 		return nil, err
@@ -92,7 +93,7 @@ var rootInode = &Inode{ID: RootID, Parent: 0, Name: "", Dir: true, Perm: 0o755, 
 // (tryBatchResolve); otherwise — and whenever verification detects stale
 // hints — it falls back to the serial per-component walk. Either way the
 // hint cache is refreshed with what was actually read.
-func (nn *NameNode) resolveChain(tx *ndb.Txn, comps []string) ([]*Inode, error) {
+func (nn *NameNode) resolveChain(tx *shard.Txn, comps []string) ([]*Inode, error) {
 	if !nn.ns.cfg.DisableBatchedResolve && len(comps) > 1 {
 		chain, ok, err := nn.tryBatchResolve(tx, comps)
 		if err != nil {
@@ -117,7 +118,7 @@ func (nn *NameNode) resolveChain(tx *ndb.Txn, comps []string) ([]*Inode, error) 
 // parent is exactly the ErrNotFound the serial walk would have returned,
 // and a non-directory interior component is ErrNotDir. Any remaining
 // uncovered suffix is resolved serially from the verified chain.
-func (nn *NameNode) tryBatchResolve(tx *ndb.Txn, comps []string) ([]*Inode, bool, error) {
+func (nn *NameNode) tryBatchResolve(tx *shard.Txn, comps []string) ([]*Inode, bool, error) {
 	obs := nn.ns.obs
 	// ids[i] is the cached inode id of the prefix comps[:i]; ids[0] is "/".
 	// The prefix paths are built incrementally in one byte buffer probed
@@ -145,9 +146,9 @@ func (nn *NameNode) tryBatchResolve(tx *ndb.Txn, comps []string) ([]*Inode, bool
 		obs.miss()
 		return nil, false, nil
 	}
-	gets := make([]ndb.BatchGet, rows)
+	gets := make([]shard.BatchGet, rows)
 	for i := range gets {
-		gets[i] = ndb.BatchGet{
+		gets[i] = shard.BatchGet{
 			Table:   nn.ns.inodes,
 			PartKey: partKeyOf(ids[i], comps[i]),
 			Key:     inodeKey(ids[i], comps[i]),
@@ -204,7 +205,7 @@ func (nn *NameNode) tryBatchResolve(tx *ndb.Txn, comps []string) ([]*Inode, bool
 // walkFrom continues serial resolution: chain already resolves
 // comps[:len(chain)-1], and each further component is one read-committed
 // round trip. It refreshes the hint cache as it goes.
-func (nn *NameNode) walkFrom(tx *ndb.Txn, chain []*Inode, comps []string) ([]*Inode, error) {
+func (nn *NameNode) walkFrom(tx *shard.Txn, chain []*Inode, comps []string) ([]*Inode, error) {
 	cur := chain[len(chain)-1]
 	// One buffer carries the growing prefix path for the cache refreshes.
 	pbuf := make([]byte, 0, 96)
@@ -233,7 +234,7 @@ func (nn *NameNode) walkFrom(tx *ndb.Txn, chain []*Inode, comps []string) ([]*In
 // the full ancestor chain [root, ..., parent] plus the target's name. The
 // chain (not just the parent) is what mutations need: quota charges go to
 // every quota'd ancestor on the resolved path.
-func (nn *NameNode) resolveParentChain(tx *ndb.Txn, comps []string) ([]*Inode, string, error) {
+func (nn *NameNode) resolveParentChain(tx *shard.Txn, comps []string) ([]*Inode, string, error) {
 	if len(comps) == 0 {
 		return nil, "", ErrInvalidPath
 	}
@@ -249,7 +250,7 @@ func (nn *NameNode) resolveParentChain(tx *ndb.Txn, comps []string) ([]*Inode, s
 
 // resolveParent resolves everything but the last component and returns the
 // parent inode plus the target's name.
-func (nn *NameNode) resolveParent(tx *ndb.Txn, comps []string) (*Inode, string, error) {
+func (nn *NameNode) resolveParent(tx *shard.Txn, comps []string) (*Inode, string, error) {
 	chain, name, err := nn.resolveParentChain(tx, comps)
 	if err != nil {
 		return nil, "", err
@@ -270,7 +271,7 @@ func (nn *NameNode) Mkdir(p *sim.Proc, path string, perm uint16) error {
 	nn.charge(p, len(comps))
 	nn.Ops++
 	nn.annotate(p, path)
-	return nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+	return nn.runTxn(p, nn.hintFor(comps), func(tx *shard.Txn) error {
 		chain, name, err := nn.resolveParentChain(tx, comps)
 		if err != nil {
 			return err
@@ -296,9 +297,16 @@ func (nn *NameNode) Mkdir(p *sim.Proc, path string, perm uint16) error {
 			Owner:  "hdfs",
 			Mtime:  p.Now(),
 		}
+		// Subtree pinning is inherited: a directory created under a pinned
+		// directory pins its own children's partition key to the same
+		// shard, keeping the whole subtree together. A pin surviving an
+		// aborted attempt is harmless — inode ids are never reused.
+		if s, ok := nn.ns.router.Pinned(partKey(parent.ID)); ok {
+			_ = nn.ns.router.Pin(partKey(ino.ID), s)
+		}
 		// The inode row and any quota charges ride one batched write (a
 		// single-row batch stages exactly like a plain insert).
-		items := []ndb.BatchWrite{{Table: nn.ns.inodes, PartKey: partKeyOf(parent.ID, name), Key: inodeKey(parent.ID, name), Val: ino}}
+		items := []shard.BatchWrite{{Table: nn.ns.inodes, PartKey: partKeyOf(parent.ID, name), Key: inodeKey(parent.ID, name), Val: ino}}
 		items = append(items, nn.quotaCharges(chain, "c", ino.ID, 1, 0)...)
 		return tx.WriteBatch(items)
 	})
@@ -320,7 +328,7 @@ func (nn *NameNode) Create(p *sim.Proc, path string, size int64) (*Inode, error)
 	nn.Ops++
 	nn.annotate(p, path)
 	var created *Inode
-	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+	err = nn.runTxn(p, nn.hintFor(comps), func(tx *shard.Txn) error {
 		chain, name, err := nn.resolveParentChain(tx, comps)
 		if err != nil {
 			return err
@@ -350,9 +358,9 @@ func (nn *NameNode) Create(p *sim.Proc, path string, size int64) (*Inode, error)
 		// The inode row, the inline small-file payload (§II-A3), and any
 		// quota charges commit as one batched write — one staging message
 		// pair per primary, coalesced commit trains where chains coincide.
-		items := []ndb.BatchWrite{{Table: nn.ns.inodes, PartKey: partKeyOf(parent.ID, name), Key: inodeKey(parent.ID, name), Val: ino}}
+		items := []shard.BatchWrite{{Table: nn.ns.inodes, PartKey: partKeyOf(parent.ID, name), Key: inodeKey(parent.ID, name), Val: ino}}
 		if ino.InlineSize > 0 {
-			items = append(items, ndb.BatchWrite{Table: nn.ns.smallfiles, PartKey: partKey(ino.ID), Key: smallFileKey, Val: ino.InlineSize})
+			items = append(items, shard.BatchWrite{Table: nn.ns.smallfiles, PartKey: partKey(ino.ID), Key: smallFileKey, Val: ino.InlineSize})
 		}
 		items = append(items, nn.quotaCharges(chain, "c", ino.ID, 1, size)...)
 		return tx.WriteBatch(items)
@@ -373,7 +381,7 @@ func (nn *NameNode) Stat(p *sim.Proc, path string) (*Inode, error) {
 	nn.Ops++
 	nn.annotate(p, path)
 	var out *Inode
-	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+	err = nn.runTxn(p, nn.hintFor(comps), func(tx *shard.Txn) error {
 		chain, err := nn.resolveChain(tx, comps)
 		if err != nil {
 			return err
@@ -399,7 +407,7 @@ func (nn *NameNode) GetBlockLocations(p *sim.Proc, path string) (*Inode, error) 
 	nn.Ops++
 	nn.annotate(p, path)
 	var out *Inode
-	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+	err = nn.runTxn(p, nn.hintFor(comps), func(tx *shard.Txn) error {
 		parent, name, err := nn.resolveParent(tx, comps)
 		if err != nil {
 			return err
@@ -435,7 +443,7 @@ func (nn *NameNode) List(p *sim.Proc, path string) ([]*Inode, error) {
 	nn.Ops++
 	nn.annotate(p, path)
 	var out []*Inode
-	err = nn.runTxn(p, nn.hintFor(append(comps, "")), func(tx *ndb.Txn) error {
+	err = nn.runTxn(p, nn.hintFor(append(comps, "")), func(tx *shard.Txn) error {
 		out = out[:0]
 		chain, err := nn.resolveChain(tx, comps)
 		if err != nil {
@@ -490,7 +498,7 @@ func (nn *NameNode) Delete(p *sim.Proc, path string, recursive bool) ([]blocks.B
 	nn.Ops++
 	nn.annotate(p, path)
 	var freed []blocks.BlockID
-	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+	err = nn.runTxn(p, nn.hintFor(comps), func(tx *shard.Txn) error {
 		freed = freed[:0]
 		chain, name, err := nn.resolveParentChain(tx, comps)
 		if err != nil {
@@ -525,7 +533,7 @@ func (nn *NameNode) Delete(p *sim.Proc, path string, recursive bool) ([]blocks.B
 // one round trip per row. ancestors is the resolved chain above target; the
 // whole subtree is charged back to its quota'd ancestors as one aggregate
 // negative update.
-func (nn *NameNode) deleteSubtree(tx *ndb.Txn, ancestors []*Inode, target *Inode, recursive bool, freed *[]blocks.BlockID) error {
+func (nn *NameNode) deleteSubtree(tx *shard.Txn, ancestors []*Inode, target *Inode, recursive bool, freed *[]blocks.BlockID) error {
 	levels := [][]*Inode{{target}}
 	var level []*Inode
 	if target.Dir {
@@ -533,9 +541,9 @@ func (nn *NameNode) deleteSubtree(tx *ndb.Txn, ancestors []*Inode, target *Inode
 	}
 	top := true
 	for len(level) > 0 {
-		scans := make([]ndb.BatchScan, len(level))
+		scans := make([]shard.BatchScan, len(level))
 		for i, dir := range level {
-			scans[i] = ndb.BatchScan{
+			scans[i] = shard.BatchScan{
 				Table:   nn.ns.inodes,
 				PartKey: partKey(dir.ID),
 				Prefix:  inodeKey(dir.ID, ""),
@@ -572,25 +580,25 @@ func (nn *NameNode) deleteSubtree(tx *ndb.Txn, ancestors []*Inode, target *Inode
 	}
 	var count, bytes int64
 	for _, lvl := range levels {
-		items := make([]ndb.BatchWrite, 0, len(lvl))
+		items := make([]shard.BatchWrite, 0, len(lvl))
 		for _, ino := range lvl {
 			*freed = append(*freed, ino.Blocks...)
 			count++
 			bytes += ino.Size
-			items = append(items, ndb.BatchWrite{Table: nn.ns.inodes, PartKey: partKeyOf(ino.Parent, ino.Name), Key: inodeKey(ino.Parent, ino.Name), Del: true})
+			items = append(items, shard.BatchWrite{Table: nn.ns.inodes, PartKey: partKeyOf(ino.Parent, ino.Name), Key: inodeKey(ino.Parent, ino.Name), Del: true})
 			if ino.InlineSize > 0 {
-				items = append(items, ndb.BatchWrite{Table: nn.ns.smallfiles, PartKey: partKey(ino.ID), Key: smallFileKey, Del: true})
+				items = append(items, shard.BatchWrite{Table: nn.ns.smallfiles, PartKey: partKey(ino.ID), Key: smallFileKey, Del: true})
 			}
 			if ino.Dir && (ino.QuotaNS != 0 || ino.QuotaSS != 0) {
 				// A dying quota'd directory takes its quota records with it:
 				// the authoritative row plus its accumulated usage updates.
-				items = append(items, ndb.BatchWrite{Table: nn.ns.quotas, PartKey: partKey(ino.ID), Key: quotaRecordKey, Del: true})
+				items = append(items, shard.BatchWrite{Table: nn.ns.quotas, PartKey: partKey(ino.ID), Key: quotaRecordKey, Del: true})
 				kvs, err := tx.ScanPrefix(nn.ns.quotas, partKey(ino.ID), quotaUpdatePrefix)
 				if err != nil {
 					return err
 				}
 				for _, kv := range kvs {
-					items = append(items, ndb.BatchWrite{Table: nn.ns.quotas, PartKey: partKey(ino.ID), Key: kv.Key, Del: true})
+					items = append(items, shard.BatchWrite{Table: nn.ns.quotas, PartKey: partKey(ino.ID), Key: kv.Key, Del: true})
 				}
 			}
 		}
@@ -625,7 +633,7 @@ func (nn *NameNode) Rename(p *sim.Proc, src, dst string) error {
 	nn.Ops++
 	nn.annotate(p, src)
 	p.Span().SetAttr("dst", dst)
-	err = nn.runTxn(p, nn.hintFor(srcComps), func(tx *ndb.Txn) error {
+	err = nn.runTxn(p, nn.hintFor(srcComps), func(tx *shard.Txn) error {
 		srcParent, srcName, err := nn.resolveParent(tx, srcComps)
 		if err != nil {
 			return err
@@ -650,13 +658,21 @@ func (nn *NameNode) Rename(p *sim.Proc, src, dst string) error {
 				return ErrCycle
 			}
 		}
-		// Deterministic lock order over the two row keys.
-		type lockSpec struct{ pk, key string }
+		// Deterministic lock order over the two row keys: shard first, so
+		// two cross-shard renames over the same pair of shards open their
+		// sub-transactions — and take their locks — in the same order.
+		type lockSpec struct {
+			shard   int
+			pk, key string
+		}
 		specs := []lockSpec{
-			{partKeyOf(srcParent.ID, srcName), inodeKey(srcParent.ID, srcName)},
-			{partKeyOf(dstParent.ID, dstName), inodeKey(dstParent.ID, dstName)},
+			{nn.ns.inodes.Shard(partKeyOf(srcParent.ID, srcName)), partKeyOf(srcParent.ID, srcName), inodeKey(srcParent.ID, srcName)},
+			{nn.ns.inodes.Shard(partKeyOf(dstParent.ID, dstName)), partKeyOf(dstParent.ID, dstName), inodeKey(dstParent.ID, dstName)},
 		}
 		sort.Slice(specs, func(i, j int) bool {
+			if specs[i].shard != specs[j].shard {
+				return specs[i].shard < specs[j].shard
+			}
 			if specs[i].pk != specs[j].pk {
 				return specs[i].pk < specs[j].pk
 			}
@@ -686,7 +702,7 @@ func (nn *NameNode) Rename(p *sim.Proc, src, dst string) error {
 		// An inline payload row is keyed by the file's own inode id, so it
 		// moves with the file untouched. Quota usage is not migrated across
 		// quota boundaries (see quota.go).
-		return tx.WriteBatch([]ndb.BatchWrite{
+		return tx.WriteBatch([]shard.BatchWrite{
 			{Table: nn.ns.inodes, PartKey: partKeyOf(srcParent.ID, srcName), Key: inodeKey(srcParent.ID, srcName), Del: true},
 			{Table: nn.ns.inodes, PartKey: partKeyOf(dstParent.ID, dstName), Key: inodeKey(dstParent.ID, dstName), Val: &moved},
 		})
@@ -731,7 +747,7 @@ func (nn *NameNode) updateInode(p *sim.Proc, path string, mutate func(*Inode)) e
 	nn.charge(p, len(comps))
 	nn.Ops++
 	nn.annotate(p, path)
-	return nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+	return nn.runTxn(p, nn.hintFor(comps), func(tx *shard.Txn) error {
 		parent, name, err := nn.resolveParent(tx, comps)
 		if err != nil {
 			return err
@@ -759,7 +775,7 @@ func (nn *NameNode) ContentSummary(p *sim.Proc, path string) (files, dirs int, s
 	nn.charge(p, len(comps))
 	nn.Ops++
 	nn.annotate(p, path)
-	err = nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+	err = nn.runTxn(p, nn.hintFor(comps), func(tx *shard.Txn) error {
 		files, dirs, size = 0, 0, 0
 		chain, cerr := nn.resolveChain(tx, comps)
 		if cerr != nil {
@@ -778,7 +794,7 @@ func (nn *NameNode) ContentSummary(p *sim.Proc, path string) (files, dirs int, s
 // one batched fan-out. The root directory's children are deliberately
 // scattered across partitions (see partKeyOf), so "/" itself still costs a
 // table scan.
-func (nn *NameNode) summarize(tx *ndb.Txn, root *Inode, files, dirs *int, size *int64) error {
+func (nn *NameNode) summarize(tx *shard.Txn, root *Inode, files, dirs *int, size *int64) error {
 	if !root.Dir {
 		*files++
 		*size += root.Size
@@ -805,9 +821,9 @@ func (nn *NameNode) summarize(tx *ndb.Txn, root *Inode, files, dirs *int, size *
 			}
 		}
 		if len(batchDirs) > 0 {
-			scans := make([]ndb.BatchScan, len(batchDirs))
+			scans := make([]shard.BatchScan, len(batchDirs))
 			for i, dir := range batchDirs {
-				scans[i] = ndb.BatchScan{
+				scans[i] = shard.BatchScan{
 					Table:   nn.ns.inodes,
 					PartKey: partKey(dir.ID),
 					Prefix:  inodeKey(dir.ID, ""),

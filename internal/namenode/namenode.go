@@ -18,6 +18,7 @@ import (
 	"hopsfscl/internal/blocks"
 	"hopsfscl/internal/heat"
 	"hopsfscl/internal/ndb"
+	"hopsfscl/internal/shard"
 	"hopsfscl/internal/sim"
 	"hopsfscl/internal/simnet"
 	"hopsfscl/internal/trace"
@@ -170,10 +171,15 @@ type Namesystem struct {
 	blockMgr *blocks.Manager
 	cfg      Config
 
-	inodes     *ndb.Table
-	election   *ndb.Table
-	smallfiles *ndb.Table
-	quotas     *ndb.Table
+	// router maps partition keys to shards. A fresh namesystem gets a
+	// one-cluster router (the identity), so every table access below goes
+	// through the shard layer unconditionally; AttachShards swaps in a
+	// multi-cluster router before any namenode or traffic exists.
+	router     *shard.Router
+	inodes     *shard.TableSet
+	election   *shard.TableSet
+	smallfiles *shard.TableSet
+	quotas     *shard.TableSet
 
 	nns    []*NameNode
 	idSeq  uint64
@@ -318,23 +324,12 @@ func NewNamesystem(db *ndb.Cluster, blockMgr *blocks.Manager, cfg Config) *Names
 		cfg:      cfg,
 		idSeq:    RootID,
 	}
-	// Inodes are partitioned by parent inode id (application defined
-	// partitioning): all children of a directory live in one partition, so
-	// listings are partition-pruned scans (§II-A1).
-	ns.inodes = db.CreateTable("inodes", 256, ndb.TableOptions{ReadBackup: cfg.ReadBackup})
-	// The election table is tiny and read every round by every NN: fully
-	// replicated for AZ-local reads.
-	ns.election = db.CreateTable("election", 64, ndb.TableOptions{
-		ReadBackup:      cfg.ReadBackup,
-		FullyReplicated: true,
-	})
-	// Small-file payloads live inline in NDB (§II-A3) in their own
-	// wide-row table, partitioned by the owning file's inode id so the
-	// data row survives renames untouched.
-	ns.smallfiles = db.CreateTable("smallfiles", 4096, ndb.TableOptions{ReadBackup: cfg.ReadBackup})
-	// Quota rows: per quota'd directory one authoritative "q" record plus
-	// append-only "u/..." usage updates, partitioned by directory id.
-	ns.quotas = db.CreateTable("quotas", 64, ndb.TableOptions{ReadBackup: cfg.ReadBackup})
+	r, err := shard.NewRouter([]*ndb.Cluster{db})
+	if err != nil {
+		panic(err) // unreachable: one cluster is always a valid router
+	}
+	ns.router = r
+	ns.createTables()
 	ns.seedRoot()
 	if blockMgr != nil {
 		blockMgr.SetLeaderCheck(func() bool { return ns.Leader() != nil })
@@ -342,6 +337,92 @@ func NewNamesystem(db *ndb.Cluster, blockMgr *blocks.Manager, cfg Config) *Names
 	}
 	return ns
 }
+
+// createTables creates the metadata schema on every shard of the current
+// router.
+func (ns *Namesystem) createTables() {
+	cfg := ns.cfg
+	// Inodes are partitioned by parent inode id (application defined
+	// partitioning): all children of a directory live in one partition, so
+	// listings are partition-pruned scans (§II-A1). Under the shard router
+	// the same key also picks the cluster, so a directory's children — and
+	// every parent/child lock pair — stay on one shard.
+	ns.inodes = ns.router.NewTableSet("inodes", 256, ndb.TableOptions{ReadBackup: cfg.ReadBackup})
+	// The election table is tiny and read every round by every NN: fully
+	// replicated for AZ-local reads. All its rows share one partition key,
+	// so election traffic lands on a single shard regardless of N.
+	ns.election = ns.router.NewTableSet("election", 64, ndb.TableOptions{
+		ReadBackup:      cfg.ReadBackup,
+		FullyReplicated: true,
+	})
+	// Small-file payloads live inline in NDB (§II-A3) in their own
+	// wide-row table, partitioned by the owning file's inode id so the
+	// data row survives renames untouched.
+	ns.smallfiles = ns.router.NewTableSet("smallfiles", 4096, ndb.TableOptions{ReadBackup: cfg.ReadBackup})
+	// Quota rows: per quota'd directory one authoritative "q" record plus
+	// append-only "u/..." usage updates, partitioned by directory id.
+	ns.quotas = ns.router.NewTableSet("quotas", 64, ndb.TableOptions{ReadBackup: cfg.ReadBackup})
+}
+
+// AttachShards re-homes the namesystem onto a multi-cluster router. It must
+// be called before any namenode is added or traffic served: the schema is
+// re-created across all shards (the tables already created on the seed
+// cluster are adopted as shard 0's) and the root directory is re-seeded
+// through the routing function. The router's clusters must have the seed
+// cluster first.
+func (ns *Namesystem) AttachShards(r *shard.Router) error {
+	if r.Cluster(0) != ns.db {
+		return fmt.Errorf("namenode: AttachShards router must have the namesystem's cluster as shard 0")
+	}
+	if len(ns.nns) > 0 {
+		return fmt.Errorf("namenode: AttachShards after namenodes were added")
+	}
+	adopt := func(ts *shard.TableSet) (*shard.TableSet, error) {
+		t0 := ts.At(0)
+		tabs := make([]*ndb.Table, r.Shards())
+		tabs[0] = t0
+		for i := 1; i < r.Shards(); i++ {
+			tabs[i] = r.Cluster(i).CreateTable(t0.Name(), t0.RowSize(), t0.Options())
+		}
+		return r.Wrap(tabs)
+	}
+	var err error
+	if ns.inodes, err = adopt(ns.inodes); err != nil {
+		return err
+	}
+	if ns.election, err = adopt(ns.election); err != nil {
+		return err
+	}
+	if ns.smallfiles, err = adopt(ns.smallfiles); err != nil {
+		return err
+	}
+	if ns.quotas, err = adopt(ns.quotas); err != nil {
+		return err
+	}
+	ns.router = r
+	r.EnableIntents()
+	// The root row was seeded on the single cluster; the routing function
+	// may place its partition key elsewhere now.
+	ns.seedRoot()
+	return nil
+}
+
+// Router returns the namesystem's shard router (always non-nil; a fresh
+// namesystem routes through a one-cluster identity router).
+func (ns *Namesystem) Router() *shard.Router { return ns.router }
+
+// PinSubtree pins a directory's children (by inode id) to a shard. The
+// namenode inherits the pin onto directories created underneath, so the
+// override is subtree-deep for namespace created after the pin. Pins must
+// be installed before rows exist under the directory.
+func (ns *Namesystem) PinSubtree(dirID uint64, s int) error {
+	return ns.router.Pin(partKey(dirID), s)
+}
+
+// IdentityID implements shard.Identified: the inode id is the value's
+// stable identity, letting the cross-shard intent resolver distinguish "my
+// write already applied" from "another writer took this row" after a crash.
+func (i *Inode) IdentityID() uint64 { return i.ID }
 
 // ReferencedBlocks returns the set of block ids attached to any committed
 // inode. The block layer's monitor uses it to reclaim orphans, and the
@@ -365,7 +446,7 @@ func (ns *Namesystem) ReferencedBlocks() map[blocks.BlockID]bool {
 // seedRoot installs "/" directly in storage (bootstrap, before any traffic).
 func (ns *Namesystem) seedRoot() {
 	root := &Inode{ID: RootID, Parent: 0, Name: "", Dir: true, Perm: 0o755, Owner: "hdfs"}
-	ndb.StoreDirect(ns.inodes, partKey(0), inodeKey(0, ""), root)
+	ndb.StoreDirect(ns.inodes.For(partKey(0)), partKey(0), inodeKey(0, ""), root)
 }
 
 // Seed installs directories and files directly into NDB storage, bypassing
@@ -395,7 +476,7 @@ func (ns *Namesystem) Seed(dirs, files []string) error {
 			Perm:   0o755,
 			Owner:  "hdfs",
 		}
-		ndb.StoreDirect(ns.inodes, partKeyOf(parent, name), inodeKey(parent, name), ino)
+		ndb.StoreDirect(ns.inodes.For(partKeyOf(parent, name)), partKeyOf(parent, name), inodeKey(parent, name), ino)
 		if dir {
 			ids[strings.Join(comps, "/")] = ino.ID
 		}
@@ -423,9 +504,9 @@ func (ns *Namesystem) BlockManager() *blocks.Manager { return ns.blockMgr }
 // Config returns the namesystem configuration.
 func (ns *Namesystem) Config() Config { return ns.cfg }
 
-// InodeTable exposes the inode table for experiments (Figure 14 reads the
-// per-partition read counters).
-func (ns *Namesystem) InodeTable() *ndb.Table { return ns.inodes }
+// InodeTable exposes shard 0's inode table for experiments (Figure 14 reads
+// the per-partition read counters; those experiments run unsharded).
+func (ns *Namesystem) InodeTable() *ndb.Table { return ns.inodes.At(0) }
 
 // NameNodes returns all registered metadata servers.
 func (ns *Namesystem) NameNodes() []*NameNode { return ns.nns }
@@ -575,17 +656,26 @@ func (nn *NameNode) chargeList(p *sim.Proc, entries int) {
 // retriable reports whether a transaction error warrants a retry: lock
 // timeouts (deadlock/overload backpressure) and node failovers.
 func retriable(err error) bool {
+	// An indeterminate cross-shard commit is decided — its durable intent
+	// will complete it — so retrying would re-run an operation that is
+	// already (going to be) applied and report a false definite failure.
+	if errors.Is(err, shard.ErrIndeterminate) {
+		return false
+	}
 	return errors.Is(err, ndb.ErrLockTimeout) || errors.Is(err, ndb.ErrNodeUnavailable)
 }
 
-// runTxn executes fn in a transaction with the given partition-key hint,
-// retrying aborted transactions with exponential backoff — the paper's
-// retry mechanism providing backpressure to NDB (§II-B2). In detailed
-// tracing mode each attempt becomes a "txn" child span of the operation's
-// root span, carrying the TC-selection attributes set by ndb.Begin.
-func (nn *NameNode) runTxn(p *sim.Proc, hint string, fn func(tx *ndb.Txn) error) error {
+// runTxn executes fn in a routed transaction with the given partition-key
+// hint, retrying aborted transactions with exponential backoff — the
+// paper's retry mechanism providing backpressure to NDB (§II-B2). The hint
+// picks the shard whose sub-transaction opens eagerly; a stale hint only
+// costs locality, never correctness, since every read and write re-routes
+// by its own partition key. In detailed tracing mode each attempt becomes a
+// "txn" child span of the operation's root span, carrying the TC-selection
+// attributes set by ndb.Begin.
+func (nn *NameNode) runTxn(p *sim.Proc, hint string, fn func(tx *shard.Txn) error) error {
 	attemptTxn := func() error {
-		tx, err := nn.ns.db.Begin(p, nn.Node, nn.Domain, nn.ns.inodes, hint)
+		tx, err := nn.ns.router.Begin(p, nn.Node, nn.Domain, nn.ns.inodes, hint)
 		if err != nil {
 			return err
 		}
@@ -622,6 +712,25 @@ func (nn *NameNode) runTxn(p *sim.Proc, hint string, fn func(tx *ndb.Txn) error)
 		}
 	}
 	return ErrRetriesExhausted
+}
+
+// PendingIntents returns the number of durable cross-shard intent records
+// not yet resolved — the chaos auditor's "no intent left behind" invariant
+// reads it after a quiesced sweep. Always zero for unsharded deployments.
+func (ns *Namesystem) PendingIntents() int {
+	return ns.router.PendingIntentCount()
+}
+
+// ResolvePendingIntents sweeps and resolves every durable cross-shard
+// intent record left by coordinators that crashed (or were cut off)
+// mid-commit, rolling each one forward or back. Recovery runs from an
+// alive namenode; with none alive it reports ErrNoNameNodes.
+func (ns *Namesystem) ResolvePendingIntents(p *sim.Proc) (int, error) {
+	nn := ns.Leader()
+	if nn == nil {
+		return 0, ErrNoNameNodes
+	}
+	return ns.router.ResolvePendingIntents(p, nn.Node, nn.Domain)
 }
 
 // annotate tags the operation's active (root) span with the serving server

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"hopsfscl/internal/ndb"
+	"hopsfscl/internal/shard"
 	"hopsfscl/internal/sim"
 )
 
@@ -45,13 +46,13 @@ func quotaUpdateKey(kind string, ino uint64) string {
 // nearest — so each quota's usage stays the true total of its whole subtree.
 // The returned rows ride the caller's WriteBatch; an unquota'd path yields
 // nil and costs nothing.
-func (nn *NameNode) quotaCharges(chain []*Inode, kind string, ino uint64, ns, ss int64) []ndb.BatchWrite {
-	var items []ndb.BatchWrite
+func (nn *NameNode) quotaCharges(chain []*Inode, kind string, ino uint64, ns, ss int64) []shard.BatchWrite {
+	var items []shard.BatchWrite
 	for _, anc := range chain {
 		if anc.QuotaNS == 0 && anc.QuotaSS == 0 {
 			continue
 		}
-		items = append(items, ndb.BatchWrite{
+		items = append(items, shard.BatchWrite{
 			Table:   nn.ns.quotas,
 			PartKey: partKey(anc.ID),
 			Key:     quotaUpdateKey(kind, ino),
@@ -76,7 +77,7 @@ func (nn *NameNode) SetQuota(p *sim.Proc, path string, nsQuota, ssQuota int64) e
 	nn.charge(p, len(comps))
 	nn.Ops++
 	nn.annotate(p, path)
-	return nn.runTxn(p, nn.hintFor(comps), func(tx *ndb.Txn) error {
+	return nn.runTxn(p, nn.hintFor(comps), func(tx *shard.Txn) error {
 		parent, name, err := nn.resolveParent(tx, comps)
 		if err != nil {
 			return err
@@ -92,13 +93,13 @@ func (nn *NameNode) SetQuota(p *sim.Proc, path string, nsQuota, ssQuota int64) e
 		updated.QuotaNS = nsQuota
 		updated.QuotaSS = ssQuota
 		updated.Mtime = p.Now()
-		quotaRow := ndb.BatchWrite{Table: nn.ns.quotas, PartKey: partKey(ino.ID), Key: quotaRecordKey}
+		quotaRow := shard.BatchWrite{Table: nn.ns.quotas, PartKey: partKey(ino.ID), Key: quotaRecordKey}
 		if nsQuota == 0 && ssQuota == 0 {
 			quotaRow.Del = true
 		} else {
 			quotaRow.Val = &QuotaRecord{NS: nsQuota, SS: ssQuota}
 		}
-		return tx.WriteBatch([]ndb.BatchWrite{
+		return tx.WriteBatch([]shard.BatchWrite{
 			{Table: nn.ns.inodes, PartKey: partKeyOf(parent.ID, name), Key: inodeKey(parent.ID, name), Val: &updated},
 			quotaRow,
 		})
@@ -117,7 +118,7 @@ func (nn *NameNode) Quota(p *sim.Proc, path string) (QuotaInfo, error) {
 	nn.Ops++
 	nn.annotate(p, path)
 	var info QuotaInfo
-	err = nn.runTxn(p, nn.hintFor(append(comps, "")), func(tx *ndb.Txn) error {
+	err = nn.runTxn(p, nn.hintFor(append(comps, "")), func(tx *shard.Txn) error {
 		info = QuotaInfo{}
 		chain, err := nn.resolveChain(tx, comps)
 		if err != nil {

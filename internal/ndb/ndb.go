@@ -73,6 +73,11 @@ type Config struct {
 	// trains. It is the reference the batched path is compared against
 	// (writefan experiment, ablation (e), equivalence tests).
 	DisableWriteBatching bool
+	// NamePrefix prefixes every node and resource name ("s1-ndb-3",
+	// "s1-mgm-1"), so multiple independent clusters — the shard router's
+	// deployments — coexist on one network without name or gauge-label
+	// collisions. Empty keeps the historical unprefixed names (shard 0).
+	NamePrefix string
 	// Costs hold the calibrated CPU service demands.
 	Costs Costs
 }
@@ -355,7 +360,7 @@ func New(env *sim.Env, net *simnet.Network, cfg Config, dataPlacement, mgmtPlace
 	for i, pl := range dataPlacement {
 		dn := &DataNode{
 			c:     c,
-			Node:  net.NewNode(fmt.Sprintf("ndb-%d", i+1), pl.Zone, pl.Host),
+			Node:  net.NewNode(fmt.Sprintf("%sndb-%d", cfg.NamePrefix, i+1), pl.Zone, pl.Host),
 			Index: i,
 			Group: i % numGroups,
 		}
@@ -363,13 +368,13 @@ func New(env *sim.Env, net *simnet.Network, cfg Config, dataPlacement, mgmtPlace
 			dn.Domain = pl.Zone
 		}
 		for t := range dn.threads {
-			dn.threads[t] = sim.NewResource(env, fmt.Sprintf("ndb-%d/%s", i+1, ThreadType(t)), threadCounts[t])
+			dn.threads[t] = sim.NewResource(env, fmt.Sprintf("%sndb-%d/%s", cfg.NamePrefix, i+1, ThreadType(t)), threadCounts[t])
 		}
 		c.datanodes = append(c.datanodes, dn)
 		c.groups[dn.Group] = append(c.groups[dn.Group], dn)
 	}
 	for i, pl := range mgmtPlacement {
-		c.mgmt = append(c.mgmt, &MgmtNode{c: c, Node: net.NewNode(fmt.Sprintf("mgm-%d", i+1), pl.Zone, pl.Host)})
+		c.mgmt = append(c.mgmt, &MgmtNode{c: c, Node: net.NewNode(fmt.Sprintf("%smgm-%d", cfg.NamePrefix, i+1), pl.Zone, pl.Host)})
 	}
 	c.startBackground()
 	return c, nil

@@ -29,6 +29,10 @@ type Table struct {
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
 
+// Cluster returns the cluster that owns the table; the shard router uses
+// it to group batch items by the shard their table lives on.
+func (t *Table) Cluster() *Cluster { return t.c }
+
 // Options returns the table's feature flags.
 func (t *Table) Options() TableOptions { return t.opts }
 

@@ -187,6 +187,24 @@ func (t *Txn) heatTouch(part *Partition) {
 // Coordinator returns the datanode coordinating this transaction.
 func (t *Txn) Coordinator() *DataNode { return t.tc }
 
+// Cluster returns the cluster this transaction runs against.
+func (t *Txn) Cluster() *Cluster { return t.c }
+
+// HasWrites reports whether the transaction has staged any writes; the
+// shard router uses it to pick between the single-cluster fast path and
+// the cross-shard intent protocol.
+func (t *Txn) HasWrites() bool { return len(t.writes) > 0 }
+
+// StagedWrites calls fn for every write staged so far, in staging order.
+// The shard router serializes these into a durable intent record before
+// committing a cross-shard transaction, so a crash between the per-shard
+// commits leaves enough to finish or undo the operation.
+func (t *Txn) StagedWrites(fn func(table *Table, partKey, key string, val Value, del bool)) {
+	for _, w := range t.writes {
+		fn(w.part.table, w.pk, w.key, w.val, w.del)
+	}
+}
+
 // ReadCommitted reads the committed value of a row without locking. Routing
 // follows §IV-A5: Read Backup tables may serve from the TC-local replica
 // (primary or backup), fully replicated tables serve from the TC itself,

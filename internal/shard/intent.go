@@ -1,0 +1,494 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+
+	"hopsfscl/internal/ndb"
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/simnet"
+)
+
+// Cross-shard commit: an ordered two-cluster protocol with a durable
+// intent record.
+//
+// A transaction that staged writes on two shards cannot commit atomically
+// — the clusters share nothing. The router instead commits them in shard
+// order, with the plan for every later shard persisted *inside the first
+// commit*:
+//
+//  1. Read-only sides commit first. They only release locks; if one fails
+//     nothing has been applied anywhere and the writers abort cleanly.
+//  2. An Intent row — the staged rows of every writer after the first,
+//     plus per-row identity guards — is staged into the first writer and
+//     committed atomically with its rows. If this commit fails, no shard
+//     has applied anything and no intent exists: a clean abort.
+//  3. The remaining writers commit in shard order. From the instant step
+//     2 committed, the operation is decided: if a later commit fails (a
+//     shard crashed mid-commit), the durable intent is enough to finish
+//     the job, so the caller gets an indeterminate error — never a false
+//     "failed" for an operation that will complete.
+//  4. On full success the intent row is deleted (best effort: a surviving
+//     intent for an applied operation replays as a guarded no-op).
+//
+// Resolution (ResolvePendingIntents) replays surviving intents with
+// exclusive locks and identity guards, so it is idempotent and safe
+// against the window between failure and sweep: a delete leg only removes
+// the row if it still holds the expected inode, and a put leg that finds
+// a foreign occupant re-homes the moved inode at the move's source (or,
+// as a last resort, under a "~dup" key) instead of overwriting or
+// dropping it. The PR 2 history checker sees: acked cross-shard renames
+// never lose the inode, and no schedule of crashes leaves it absent from
+// both names or present under both.
+
+// Identified lets the resolver compare a stored row value against the
+// inode an intent was written about without importing the namenode's
+// types; namenode.Inode implements it.
+type Identified interface {
+	IdentityID() uint64
+}
+
+func identityOf(v ndb.Value) (uint64, bool) {
+	if id, ok := v.(Identified); ok {
+		return id.IdentityID(), true
+	}
+	return 0, false
+}
+
+// IntentRow is one replayable row mutation of an intent leg.
+type IntentRow struct {
+	Table   string
+	PartKey string
+	Key     string
+	Val     ndb.Value // nil for deletes
+	Del     bool
+	// Guard is the identity the replay checks: for deletes, the
+	// pre-image's inode id (never delete a row that was since recreated
+	// with a different inode); for puts, Val's own id (detect
+	// already-applied). Zero means unguarded (rows without identity:
+	// small-file data, quota updates — all keyed uniquely).
+	Guard uint64
+	// Fallback* name the move's source slot for guarded puts: when the
+	// destination is occupied by a foreign inode at replay time, the
+	// moved inode is re-homed there instead of being dropped or doubling
+	// the destination.
+	FallbackShard   int
+	FallbackTable   string
+	FallbackPartKey string
+	FallbackKey     string
+}
+
+// IntentLeg is the replay plan for one shard of a cross-shard commit.
+type IntentLeg struct {
+	Shard int
+	Rows  []IntentRow
+}
+
+// Intent is the durable record of a decided cross-shard commit: committed
+// atomically with the first writer's rows, deleted after the last
+// writer's, replayed by the sweeper in between.
+type Intent struct {
+	ID   uint64
+	Op   string
+	Legs []IntentLeg
+}
+
+const (
+	intentTableName = "shard_intents"
+	intentPartKey   = "i"
+)
+
+func intentKey(id uint64) string {
+	return fmt.Sprintf("i/%016x", id)
+}
+
+// ErrIndeterminate reports a cross-shard commit whose intent is durable
+// but whose later legs did not all acknowledge: the operation will
+// complete (the sweeper replays the intent), the caller just cannot know
+// yet. It unwraps to ndb.ErrNodeUnavailable so history checkers already
+// classify it as indeterminate.
+var ErrIndeterminate = fmt.Errorf("shard: cross-shard commit indeterminate, durable intent pending: %w", ndb.ErrNodeUnavailable)
+
+// EnableIntents creates the per-shard durable intent tables. It must run
+// at deployment build time, before transactions flow; single-shard
+// routers skip it (no cross-shard path exists), keeping their table set
+// — and every golden that renders it — unchanged.
+func (r *Router) EnableIntents() {
+	if r.n == 1 || r.intents != nil {
+		return
+	}
+	r.intents = make([]*ndb.Table, r.n)
+	for i, c := range r.clusters {
+		r.intents[i] = c.CreateTable(intentTableName, 256, ndb.TableOptions{ReadBackup: true})
+	}
+}
+
+// commitCross commits a multi-shard transaction via the intent protocol.
+func (t *Txn) commitCross() error {
+	r := t.r
+	start := t.p.Now()
+	var readers, writers []*ndb.Txn
+	var writerShards []int
+	for s, sub := range t.multi {
+		if sub == nil {
+			continue
+		}
+		if sub.HasWrites() {
+			writers = append(writers, sub)
+			writerShards = append(writerShards, s)
+		} else {
+			readers = append(readers, sub)
+		}
+	}
+	// Step 1: read-only sides. Failures here abort everything cleanly.
+	for _, sub := range readers {
+		if err := sub.Commit(); err != nil {
+			for _, w := range writers {
+				w.Abort()
+			}
+			if r.obs != nil {
+				r.obs.crossAborts.Add(1)
+			}
+			t.Annotate("shard.cross", "abort-read")
+			return err
+		}
+	}
+	switch len(writers) {
+	case 0:
+		return nil
+	case 1:
+		// One writing shard: single-cluster atomicity suffices even though
+		// reads spanned shards.
+		if r.obs != nil {
+			r.obs.local.Add(1)
+		}
+		return writers[0].Commit()
+	}
+	if r.intents == nil {
+		return fmt.Errorf("shard: cross-shard write without intent tables (router not fully attached)")
+	}
+
+	// Step 2: build the intent from the staged rows of every writer after
+	// the first, guard deletes by their pre-image identity, and pair puts
+	// with the delete of the same inode (the move's source) as fallback.
+	r.intentSeq++
+	it := &Intent{ID: r.intentSeq, Op: t.p.Span().OpName()}
+	type slot struct {
+		shard          int
+		table, pk, key string
+	}
+	delOf := make(map[uint64]slot)
+	var buildErr error
+	for wi, w := range writers {
+		s := writerShards[wi]
+		w.StagedWrites(func(tab *ndb.Table, pk, key string, val ndb.Value, del bool) {
+			if buildErr != nil {
+				return
+			}
+			if del {
+				cur, ok, err := w.ReadCommitted(tab, pk, key)
+				if err != nil {
+					buildErr = err
+					return
+				}
+				if ok {
+					if id, idOK := identityOf(cur); idOK {
+						delOf[id] = slot{shard: s, table: tab.Name(), pk: pk, key: key}
+					}
+				}
+			}
+		})
+	}
+	if buildErr == nil {
+		for wi, w := range writers {
+			if wi == 0 {
+				continue
+			}
+			leg := IntentLeg{Shard: writerShards[wi]}
+			w.StagedWrites(func(tab *ndb.Table, pk, key string, val ndb.Value, del bool) {
+				if buildErr != nil {
+					return
+				}
+				row := IntentRow{Table: tab.Name(), PartKey: pk, Key: key, Val: val, Del: del}
+				if del {
+					cur, ok, err := w.ReadCommitted(tab, pk, key)
+					if err != nil {
+						buildErr = err
+						return
+					}
+					if ok {
+						if id, idOK := identityOf(cur); idOK {
+							row.Guard = id
+						}
+					}
+				} else if val != nil {
+					if id, idOK := identityOf(val); idOK {
+						row.Guard = id
+						if src, found := delOf[id]; found {
+							row.FallbackShard = src.shard
+							row.FallbackTable = src.table
+							row.FallbackPartKey = src.pk
+							row.FallbackKey = src.key
+						}
+					}
+				}
+				leg.Rows = append(leg.Rows, row)
+			})
+			it.Legs = append(it.Legs, leg)
+		}
+	}
+	intentShard := writerShards[0]
+	if buildErr == nil {
+		buildErr = writers[0].Insert(r.intents[intentShard], intentPartKey, intentKey(it.ID), it)
+	}
+	if buildErr != nil {
+		for _, w := range writers {
+			w.Abort()
+		}
+		if r.obs != nil {
+			r.obs.crossAborts.Add(1)
+		}
+		t.Annotate("shard.cross", "abort-build")
+		return buildErr
+	}
+
+	// Step 2, commit: rows of the first shard plus the intent, atomically.
+	if err := writers[0].Commit(); err != nil {
+		for _, w := range writers[1:] {
+			w.Abort()
+		}
+		if r.obs != nil {
+			r.obs.crossAborts.Add(1)
+		}
+		t.Annotate("shard.cross", "abort-first-leg")
+		return err
+	}
+
+	// Step 3: the decision is durable; commit the remaining legs in shard
+	// order.
+	var legErr error
+	for _, w := range writers[1:] {
+		if err := w.Commit(); err != nil && legErr == nil {
+			legErr = err
+		}
+	}
+	if legErr == nil {
+		// Step 4: best effort — a surviving intent replays as a no-op.
+		_ = r.clearIntent(t.p, t.origin, t.domain, intentShard, it.ID)
+		if r.obs != nil {
+			r.obs.cross.Add(1)
+			r.obs.crossTime.Observe(t.p.Now() - start)
+		}
+		t.Annotate("shard.cross", strconv.Itoa(len(writers)))
+		return nil
+	}
+	// A later leg failed after the intent became durable. Try to finish
+	// inline; if the shard is really down, hand the intent to the sweeper
+	// and report indeterminate.
+	if err := r.resolveIntent(t.p, t.origin, t.domain, intentShard, it); err == nil {
+		if r.obs != nil {
+			r.obs.cross.Add(1)
+			r.obs.crossTime.Observe(t.p.Now() - start)
+		}
+		t.Annotate("shard.cross", "resolved-inline")
+		return nil
+	}
+	if r.obs != nil {
+		r.obs.crossIndet.Add(1)
+	}
+	t.Annotate("shard.cross", "indeterminate")
+	return ErrIndeterminate
+}
+
+// resolveIntent replays every leg of it with guards, then deletes the
+// record. Idempotent: replaying an already-applied (or half-applied)
+// intent converges to the same state.
+func (r *Router) resolveIntent(p *sim.Proc, origin *simnet.Node, domain simnet.ZoneID, intentShard int, it *Intent) error {
+	type rehome struct {
+		row IntentRow
+	}
+	var rehomes []rehome
+	for _, leg := range it.Legs {
+		c := r.clusters[leg.Shard]
+		if len(leg.Rows) == 0 {
+			continue
+		}
+		tx, err := c.Begin(p, origin, domain, c.Table(leg.Rows[0].Table), leg.Rows[0].PartKey)
+		if err != nil {
+			return err
+		}
+		for _, row := range leg.Rows {
+			tab := c.Table(row.Table)
+			cur, ok, err := tx.ReadLocked(tab, row.PartKey, row.Key, ndb.LockExclusive)
+			if err != nil {
+				tx.Abort()
+				return err
+			}
+			switch {
+			case row.Del:
+				id, idOK := uint64(0), false
+				if ok {
+					id, idOK = identityOf(cur)
+				}
+				if ok && (row.Guard == 0 || (idOK && id == row.Guard)) {
+					if err := tx.Delete(tab, row.PartKey, row.Key); err != nil {
+						tx.Abort()
+						return err
+					}
+				}
+			case !ok:
+				// Destination free: roll forward.
+				if err := tx.Write(tab, row.PartKey, row.Key, row.Val, false); err != nil {
+					tx.Abort()
+					return err
+				}
+			default:
+				id, idOK := identityOf(cur)
+				if row.Guard != 0 && idOK && id == row.Guard {
+					// Already applied (the leg committed, only the ack or the
+					// intent cleanup was lost).
+					continue
+				}
+				if row.Guard == 0 {
+					// Unguarded put: plain replay.
+					if err := tx.Write(tab, row.PartKey, row.Key, row.Val, false); err != nil {
+						tx.Abort()
+						return err
+					}
+					continue
+				}
+				// Foreign occupant: the destination was legitimately reused
+				// after the failure. Don't overwrite it and don't drop the
+				// moved inode — re-home it after this leg commits.
+				rehomes = append(rehomes, rehome{row: row})
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	for _, rh := range rehomes {
+		if err := r.rehomeRow(p, origin, domain, rh.row); err != nil {
+			return err
+		}
+		if r.obs != nil {
+			r.obs.intentsRolledBack.Add(1)
+		}
+	}
+	if err := r.clearIntent(p, origin, domain, intentShard, it.ID); err != nil {
+		return err
+	}
+	if r.obs != nil {
+		r.obs.intentsResolved.Add(1)
+	}
+	return nil
+}
+
+// rehomeRow re-inserts a moved value whose destination was taken: at the
+// move's source slot when it is still free (the rename rolls back), else
+// under a reserved "~dup" key beside the destination — never dropped,
+// never doubled.
+func (r *Router) rehomeRow(p *sim.Proc, origin *simnet.Node, domain simnet.ZoneID, row IntentRow) error {
+	if row.FallbackTable != "" {
+		c := r.clusters[row.FallbackShard]
+		tab := c.Table(row.FallbackTable)
+		tx, err := c.Begin(p, origin, domain, tab, row.FallbackPartKey)
+		if err != nil {
+			return err
+		}
+		_, ok, err := tx.ReadLocked(tab, row.FallbackPartKey, row.FallbackKey, ndb.LockExclusive)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if !ok {
+			if err := tx.Write(tab, row.FallbackPartKey, row.FallbackKey, row.Val, false); err != nil {
+				tx.Abort()
+				return err
+			}
+			return tx.Commit()
+		}
+		tx.Abort()
+	}
+	// Source taken too: park beside the destination under a key no path
+	// lookup generates.
+	s := r.ShardOfKey(row.PartKey)
+	c := r.clusters[s]
+	tab := c.Table(row.Table)
+	tx, err := c.Begin(p, origin, domain, tab, row.PartKey)
+	if err != nil {
+		return err
+	}
+	key := row.Key + "~dup" + strconv.FormatUint(row.Guard, 10)
+	if err := tx.Write(tab, row.PartKey, key, row.Val, false); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// clearIntent deletes one intent record in its own small transaction.
+func (r *Router) clearIntent(p *sim.Proc, origin *simnet.Node, domain simnet.ZoneID, shard int, id uint64) error {
+	c := r.clusters[shard]
+	tx, err := c.Begin(p, origin, domain, r.intents[shard], intentPartKey)
+	if err != nil {
+		return err
+	}
+	if err := tx.Delete(r.intents[shard], intentPartKey, intentKey(id)); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// ResolvePendingIntents sweeps every shard's intent table and replays
+// surviving records in id order. The chaos engine runs it at quiesced
+// checkpoints (it is the recovery procedure a real deployment would run
+// on namenode failover); tests call it directly. Returns how many intents
+// it resolved.
+func (r *Router) ResolvePendingIntents(p *sim.Proc, origin *simnet.Node, domain simnet.ZoneID) (int, error) {
+	if r.intents == nil {
+		return 0, nil
+	}
+	resolved := 0
+	for s := 0; s < r.n; s++ {
+		c := r.clusters[s]
+		tx, err := c.Begin(p, origin, domain, r.intents[s], intentPartKey)
+		if err != nil {
+			return resolved, err
+		}
+		kvs, err := tx.ScanPrefix(r.intents[s], intentPartKey, "i/")
+		if err != nil {
+			tx.Abort()
+			return resolved, err
+		}
+		if err := tx.Commit(); err != nil {
+			return resolved, err
+		}
+		for _, kv := range kvs {
+			it, ok := kv.Val.(*Intent)
+			if !ok {
+				continue
+			}
+			if err := r.resolveIntent(p, origin, domain, s, it); err != nil {
+				return resolved, err
+			}
+			resolved++
+		}
+	}
+	return resolved, nil
+}
+
+// PendingIntentCount inspects the intent tables directly (outside the
+// simulated network) and returns how many records survive — the
+// auditor's cross-shard invariant: zero after a settled, swept
+// checkpoint.
+func (r *Router) PendingIntentCount() int {
+	n := 0
+	for _, tab := range r.intents {
+		tab.ForEachCommitted(func(pk, key string, val ndb.Value) {
+			n++
+		})
+	}
+	return n
+}

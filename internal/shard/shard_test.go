@@ -1,0 +1,323 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hopsfscl/internal/ndb"
+	"hopsfscl/internal/sim"
+	"hopsfscl/internal/simnet"
+)
+
+// testRouter builds n independent NDB clusters on one simulated network
+// and a router over them, mirroring how core.Build wires a sharded
+// deployment.
+func testRouter(t *testing.T, n int) (*sim.Env, *Router, *simnet.Node) {
+	t.Helper()
+	env := sim.New(7)
+	t.Cleanup(env.Close)
+	net := simnet.New(env, simnet.USWest1())
+	zones := []simnet.ZoneID{1, 2, 3}
+	clusters := make([]*ndb.Cluster, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := ndb.DefaultConfig()
+		cfg.DataNodes = 6
+		cfg.Replication = 3
+		cfg.PartitionsPerTable = 8
+		if i > 0 {
+			cfg.NamePrefix = fmt.Sprintf("s%d-", i)
+		}
+		data := ndb.SpreadPlacement(cfg.DataNodes, zones, 1000+100*i)
+		mgmt := []ndb.Placement{
+			{Zone: 1, Host: simnet.HostID(2000 + 10*i)},
+			{Zone: 2, Host: simnet.HostID(2001 + 10*i)},
+			{Zone: 3, Host: simnet.HostID(2002 + 10*i)},
+		}
+		c, err := ndb.New(env, net, cfg, data, mgmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters = append(clusters, c)
+	}
+	r, err := NewRouter(clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := net.NewNode("client", 1, 3000)
+	return env, r, client
+}
+
+// inTxn runs fn in a routed transaction inside a sim process and fails the
+// test on error.
+func inTxn(t *testing.T, env *sim.Env, r *Router, client *simnet.Node, ts *TableSet, hint string,
+	fn func(p *sim.Proc, tx *Txn) error) {
+	t.Helper()
+	var err error
+	env.Spawn("txn", func(p *sim.Proc) {
+		var tx *Txn
+		tx, err = r.Begin(p, client, 1, ts, hint)
+		if err != nil {
+			return
+		}
+		err = fn(p, tx)
+	})
+	env.RunFor(10 * time.Second)
+	if err != nil {
+		t.Fatalf("txn failed: %v", err)
+	}
+}
+
+// keysOnShard returns a partition key the router maps to the wanted shard.
+func keyOnShard(t *testing.T, r *Router, want int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		pk := fmt.Sprintf("pk%d", i)
+		if r.ShardOfKey(pk) == want {
+			return pk
+		}
+	}
+	t.Fatalf("no probe key mapped to shard %d", want)
+	return ""
+}
+
+// TestShardOfKeyDeterministicAndSpread checks the routing function: pure,
+// stable, in bounds, and actually spreading keys over all shards.
+func TestShardOfKeyDeterministicAndSpread(t *testing.T) {
+	_, r, _ := testRouter(t, 4)
+	hits := make([]int, 4)
+	for i := 0; i < 4096; i++ {
+		pk := fmt.Sprintf("dir-%d", i)
+		s := r.ShardOfKey(pk)
+		if s < 0 || s >= 4 {
+			t.Fatalf("ShardOfKey(%q) = %d, out of range", pk, s)
+		}
+		if again := r.ShardOfKey(pk); again != s {
+			t.Fatalf("ShardOfKey(%q) unstable: %d then %d", pk, s, again)
+		}
+		hits[s]++
+	}
+	for s, n := range hits {
+		if n == 0 {
+			t.Fatalf("shard %d received no keys out of 4096: %v", s, hits)
+		}
+	}
+}
+
+// TestSingleShardIdentity checks the n=1 fast path every unsharded golden
+// depends on: all keys route to shard 0 and no intent machinery exists.
+func TestSingleShardIdentity(t *testing.T) {
+	_, r, _ := testRouter(t, 1)
+	for i := 0; i < 64; i++ {
+		if s := r.ShardOfKey(fmt.Sprintf("k%d", i)); s != 0 {
+			t.Fatalf("single-shard router sent key to shard %d", s)
+		}
+	}
+	r.EnableIntents()
+	if got := r.PendingIntentCount(); got != 0 {
+		t.Fatalf("single-shard router reports %d pending intents", got)
+	}
+	if r.Cluster(0).Table(intentTableName) != nil {
+		t.Fatalf("single-shard router created an intent table")
+	}
+}
+
+// TestPins checks subtree pinning: overrides beat the hash, out-of-range
+// pins are rejected, and unpinning restores hashing.
+func TestPins(t *testing.T) {
+	_, r, _ := testRouter(t, 3)
+	pk := keyOnShard(t, r, 2)
+	if err := r.Pin(pk, 1); err != nil {
+		t.Fatalf("pin: %v", err)
+	}
+	if s := r.ShardOfKey(pk); s != 1 {
+		t.Fatalf("pinned key routed to shard %d, want 1", s)
+	}
+	if s, ok := r.Pinned(pk); !ok || s != 1 {
+		t.Fatalf("Pinned = (%d, %v), want (1, true)", s, ok)
+	}
+	if err := r.Pin("x", 3); err == nil {
+		t.Fatalf("out-of-range pin accepted")
+	}
+	if err := r.Pin("x", -1); err == nil {
+		t.Fatalf("negative pin accepted")
+	}
+	r.Unpin(pk)
+	if s := r.ShardOfKey(pk); s != 2 {
+		t.Fatalf("unpinned key routed to shard %d, want the hash shard 2", s)
+	}
+}
+
+// ident is a table value carrying an identity, like namenode.Inode does.
+type ident uint64
+
+func (v ident) IdentityID() uint64 { return uint64(v) }
+
+// TestCrossShardCommit drives a transaction writing on two shards through
+// the intent protocol and checks both rows land and no intent survives.
+func TestCrossShardCommit(t *testing.T) {
+	env, r, client := testRouter(t, 2)
+	ts := r.NewTableSet("t", 256, ndb.TableOptions{ReadBackup: true})
+	r.EnableIntents()
+	pk0, pk1 := keyOnShard(t, r, 0), keyOnShard(t, r, 1)
+
+	inTxn(t, env, r, client, ts, pk0, func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(ts, pk0, "a", ident(1)); err != nil {
+			return err
+		}
+		if err := tx.Insert(ts, pk1, "b", ident(2)); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	inTxn(t, env, r, client, ts, pk0, func(p *sim.Proc, tx *Txn) error {
+		for _, probe := range []struct {
+			pk, key string
+			want    ident
+		}{{pk0, "a", 1}, {pk1, "b", 2}} {
+			v, ok, err := tx.ReadCommitted(ts, probe.pk, probe.key)
+			if err != nil {
+				return err
+			}
+			if !ok || v.(ident) != probe.want {
+				return fmt.Errorf("row %s/%s = %v (ok=%v), want %d", probe.pk, probe.key, v, ok, probe.want)
+			}
+		}
+		return tx.Commit()
+	})
+	if n := r.PendingIntentCount(); n != 0 {
+		t.Fatalf("%d intents survived a successful cross-shard commit", n)
+	}
+}
+
+// plantIntent writes an intent record directly into a shard's intent
+// table, simulating a coordinator that died right after its first (intent-
+// carrying) commit leg.
+func plantIntent(t *testing.T, env *sim.Env, r *Router, client *simnet.Node, shard int, it *Intent) {
+	t.Helper()
+	c := r.Cluster(shard)
+	tab := c.Table(intentTableName)
+	var err error
+	env.Spawn("plant", func(p *sim.Proc) {
+		var tx *ndb.Txn
+		tx, err = c.Begin(p, client, 1, tab, intentPartKey)
+		if err != nil {
+			return
+		}
+		if err = tx.Insert(tab, intentPartKey, intentKey(it.ID), it); err != nil {
+			tx.Abort()
+			return
+		}
+		err = tx.Commit()
+	})
+	env.RunFor(5 * time.Second)
+	if err != nil {
+		t.Fatalf("planting intent: %v", err)
+	}
+}
+
+func resolveAll(t *testing.T, env *sim.Env, r *Router, client *simnet.Node) int {
+	t.Helper()
+	var resolved int
+	var err error
+	env.Spawn("resolve", func(p *sim.Proc) {
+		resolved, err = r.ResolvePendingIntents(p, client, 1)
+	})
+	env.RunFor(5 * time.Second)
+	if err != nil {
+		t.Fatalf("resolving intents: %v", err)
+	}
+	return resolved
+}
+
+func readRow(t *testing.T, env *sim.Env, r *Router, client *simnet.Node, ts *TableSet, pk, key string) (ndb.Value, bool) {
+	t.Helper()
+	var val ndb.Value
+	var ok bool
+	var err error
+	env.Spawn("read", func(p *sim.Proc) {
+		var tx *Txn
+		tx, err = r.Begin(p, client, 1, ts, pk)
+		if err != nil {
+			return
+		}
+		val, ok, err = tx.ReadCommitted(ts, pk, key)
+		if err != nil {
+			tx.Abort()
+			return
+		}
+		err = tx.Commit()
+	})
+	env.RunFor(5 * time.Second)
+	if err != nil {
+		t.Fatalf("reading %s/%s: %v", pk, key, err)
+	}
+	return val, ok
+}
+
+// TestIntentReplayIdempotent checks the resolution paths of a stranded
+// intent: roll-forward applies the missing leg, a second replay of the
+// same intent is a guarded no-op, and a foreign occupant at the
+// destination re-homes the moved value instead of overwriting it.
+func TestIntentReplayIdempotent(t *testing.T) {
+	env, r, client := testRouter(t, 2)
+	ts := r.NewTableSet("t", 256, ndb.TableOptions{ReadBackup: true})
+	r.EnableIntents()
+	pk0, pk1 := keyOnShard(t, r, 0), keyOnShard(t, r, 1)
+
+	// Roll-forward: the intent's leg inserts a row shard 1 never applied.
+	it := &Intent{ID: 1, Op: "rename", Legs: []IntentLeg{{
+		Shard: 1,
+		Rows:  []IntentRow{{Table: "t", PartKey: pk1, Key: "moved", Val: ident(7), Guard: 7}},
+	}}}
+	plantIntent(t, env, r, client, 0, it)
+	if got := r.PendingIntentCount(); got != 1 {
+		t.Fatalf("pending intents = %d, want 1", got)
+	}
+	if got := resolveAll(t, env, r, client); got != 1 {
+		t.Fatalf("resolved %d intents, want 1", got)
+	}
+	if v, ok := readRow(t, env, r, client, ts, pk1, "moved"); !ok || v.(ident) != 7 {
+		t.Fatalf("roll-forward did not apply the leg: val=%v ok=%v", v, ok)
+	}
+	if got := r.PendingIntentCount(); got != 0 {
+		t.Fatalf("intent record survived resolution")
+	}
+
+	// Idempotence: replaying the same intent (the leg already applied)
+	// converges without touching the row.
+	plantIntent(t, env, r, client, 0, it)
+	if got := resolveAll(t, env, r, client); got != 1 {
+		t.Fatalf("second replay resolved %d intents, want 1", got)
+	}
+	if v, ok := readRow(t, env, r, client, ts, pk1, "moved"); !ok || v.(ident) != 7 {
+		t.Fatalf("idempotent replay disturbed the row: val=%v ok=%v", v, ok)
+	}
+
+	// Foreign occupant: the destination was legitimately reused by another
+	// inode after the crash. The replay must not overwrite it; the moved
+	// value re-homes at the move's source slot.
+	inTxn(t, env, r, client, ts, pk1, func(p *sim.Proc, tx *Txn) error {
+		if err := tx.Insert(ts, pk1, "taken", ident(99)); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	it2 := &Intent{ID: 2, Op: "rename", Legs: []IntentLeg{{
+		Shard: 1,
+		Rows: []IntentRow{{
+			Table: "t", PartKey: pk1, Key: "taken", Val: ident(8), Guard: 8,
+			FallbackShard: 0, FallbackTable: "t", FallbackPartKey: pk0, FallbackKey: "origin",
+		}},
+	}}}
+	plantIntent(t, env, r, client, 0, it2)
+	if got := resolveAll(t, env, r, client); got != 1 {
+		t.Fatalf("occupied replay resolved %d intents, want 1", got)
+	}
+	if v, ok := readRow(t, env, r, client, ts, pk1, "taken"); !ok || v.(ident) != 99 {
+		t.Fatalf("replay overwrote a foreign occupant: val=%v ok=%v", v, ok)
+	}
+	if v, ok := readRow(t, env, r, client, ts, pk0, "origin"); !ok || v.(ident) != 8 {
+		t.Fatalf("moved value was not re-homed at the source: val=%v ok=%v", v, ok)
+	}
+}
